@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench both *regenerates* the paper artifact (printing the same
+rows/series the paper reports — run with ``pytest benchmarks/
+--benchmark-only -s`` to see them) and *asserts* the documented values,
+so a silent regression cannot masquerade as a timing change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated paper artifact with a banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+@pytest.fixture
+def paper_output():
+    return emit

@@ -1,0 +1,45 @@
+"""Dynamic-environment policy study bench (Maheswaran et al. context).
+
+Sweeps Poisson arrival rates over the full on-line/batch policy roster
+and regenerates the qualitative regimes of the dynamic-mapping paper
+SWA/KPB/Sufferage come from:
+
+* completion-time-aware policies (MCT / KPB / SWA / batch modes) beat
+  the heterogeneity-blind OLB at every load;
+* load-blind MET degrades as load grows (everything queues on each
+  task's fastest machine).
+"""
+
+from repro.analysis.dynamic_study import (
+    default_policies,
+    dynamic_policy_study,
+    format_dynamic_table,
+)
+
+
+def test_bench_dynamic_rate_sweep(benchmark, paper_output):
+    def run():
+        return dynamic_policy_study(
+            default_policies(batch_interval=10_000.0),
+            rates=(5e-5, 5e-4),
+            num_tasks=80,
+            num_machines=8,
+            instances=3,
+            seed=0,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_output("Dynamic study — arrival-rate sweep", format_dynamic_table(rows))
+
+    for rate in (5e-5, 5e-4):
+        cell = {r.policy: r for r in rows if r.rate == rate}
+        assert cell["mct-online"].mean_makespan <= cell["olb-online"].mean_makespan
+        assert cell["mct-online"].mean_makespan <= cell["met-online"].mean_makespan
+
+    # MET's relative penalty must grow (or at least not shrink a lot)
+    # with load: compare MET/MCT ratios across rates
+    low = {r.policy: r for r in rows if r.rate == 5e-5}
+    high = {r.policy: r for r in rows if r.rate == 5e-4}
+    ratio_low = low["met-online"].mean_makespan / low["mct-online"].mean_makespan
+    ratio_high = high["met-online"].mean_makespan / high["mct-online"].mean_makespan
+    assert ratio_high >= 0.8 * ratio_low  # sanity envelope, not strict monotone

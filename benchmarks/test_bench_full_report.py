@@ -1,0 +1,35 @@
+"""Capstone: the one-command reproduction report, benchmarked.
+
+Runs `repro.analysis.report.build_report` (quick ensembles) and asserts
+the complete paper-vs-measured verdict: all six worked examples match,
+no MISMATCH anywhere, all theorem lines report zero changes.  This is
+the single bench that certifies the whole reproduction end-to-end.
+"""
+
+from repro.analysis.report import build_report, paper_example_outcomes
+
+
+def test_bench_paper_examples_certificate(benchmark, paper_output):
+    outcomes = benchmark(paper_example_outcomes)
+    lines = []
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.label:<28} original "
+            f"{'OK' if outcome.original_ok else 'MISMATCH'}   first-iteration "
+            f"{'OK' if outcome.first_iteration_ok else 'MISMATCH'}"
+        )
+        assert outcome.ok, outcome.label
+    paper_output("Reproduction certificate — all worked examples", "\n".join(lines))
+
+
+def test_bench_full_report_generation(benchmark, paper_output):
+    report = benchmark.pedantic(
+        lambda: build_report(quick=True, seed=0), rounds=1, iterations=1
+    )
+    assert "MISMATCH" not in report
+    assert report.count("| match |") == 6
+    assert "0 mapping changes" in report
+    paper_output(
+        "Reproduction report (quick mode) — header",
+        "\n".join(report.splitlines()[:18]),
+    )

@@ -1,0 +1,95 @@
+"""E24: cross-heuristic makespan comparison (Braun et al. anchor).
+
+The paper builds on the Braun et al. heuristic suite; this bench
+anchors our implementations against that study's well-known ordering on
+the standard ETC classes:
+
+* Genitor (GA) <= Min-Min on mean makespan (GA was the best of the
+  eleven heuristics in Braun et al.; Min-Min second);
+* Min-Min beats MCT, MET and OLB on inconsistent hihi matrices;
+* MET collapses on consistent matrices (everything piles onto the
+  single globally-fastest machine), far worse than Min-Min.
+"""
+
+from repro.analysis.study import format_comparison_table, heuristic_comparison
+from repro.etc.generation import Consistency, Heterogeneity
+
+HEURISTICS = ("genitor", "min-min", "max-min", "duplex", "mct", "met",
+              "k-percent-best", "sufferage", "switching-algorithm", "olb",
+              "random")
+
+
+def test_bench_comparison_inconsistent_hihi(benchmark, paper_output):
+    def run():
+        return heuristic_comparison(
+            HEURISTICS,
+            num_tasks=40,
+            num_machines=8,
+            instances=10,
+            heterogeneities=(Heterogeneity.HIHI,),
+            consistencies=(Consistency.INCONSISTENT,),
+            seed=0,
+            heuristic_kwargs={
+                "genitor": {"iterations": 2000, "population_size": 40}
+            },
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_output(
+        "E24 — mean makespan by heuristic (hihi / inconsistent)",
+        format_comparison_table(rows),
+    )
+    by_name = {r.heuristic: r for r in rows}
+    assert by_name["min-min"].mean_makespan < by_name["mct"].mean_makespan
+    assert by_name["min-min"].mean_makespan < by_name["olb"].mean_makespan
+    assert by_name["min-min"].mean_makespan < by_name["random"].mean_makespan
+    # Genitor's population is seeded with Min-Min (Braun et al. GA
+    # methodology), so its makespan can only match or beat Min-Min's.
+    assert by_name["genitor"].mean_makespan <= by_name["min-min"].mean_makespan + 1e-9
+    assert by_name["duplex"].mean_makespan <= by_name["min-min"].mean_makespan + 1e-9
+
+
+def test_bench_comparison_consistent_hihi(benchmark, paper_output):
+    def run():
+        return heuristic_comparison(
+            ("min-min", "max-min", "mct", "met", "olb"),
+            num_tasks=40,
+            num_machines=8,
+            instances=10,
+            heterogeneities=(Heterogeneity.HIHI,),
+            consistencies=(Consistency.CONSISTENT,),
+            seed=1,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_output(
+        "E24 — mean makespan by heuristic (hihi / consistent)",
+        format_comparison_table(rows),
+    )
+    by_name = {r.heuristic: r for r in rows}
+    # on consistent matrices MET maps EVERY task to machine 0
+    assert by_name["met"].mean_makespan > 2 * by_name["min-min"].mean_makespan
+
+
+def test_bench_comparison_across_heterogeneity(benchmark, paper_output):
+    def run():
+        return heuristic_comparison(
+            ("min-min", "mct", "sufferage"),
+            num_tasks=30,
+            num_machines=6,
+            instances=8,
+            heterogeneities=(Heterogeneity.HIHI, Heterogeneity.LOLO),
+            consistencies=(Consistency.INCONSISTENT,),
+            seed=2,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_output(
+        "E24 — heterogeneity sweep (hihi vs lolo, inconsistent)",
+        format_comparison_table(rows),
+    )
+    classes = {r.etc_class for r in rows}
+    assert len(classes) == 2
+    for cls in classes:
+        sel = [r for r in rows if r.etc_class == cls]
+        assert min(r.normalized for r in sel) == 1.0

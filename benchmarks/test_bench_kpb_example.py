@@ -1,0 +1,63 @@
+"""E12–E14: regenerate paper Tables 12–14 and Figures 15–16 (KPB).
+
+Paper-reported values (Section 3.6 prose; k = 70%, deterministic ties):
+
+* Table 13 / Figure 15 — original (subset = best 2 of 3):
+  m1 = 6, m2 = 5, m3 = 5.5; makespan machine m1;
+* Table 14 / Figure 16 — first iterative mapping (subset shrinks to one
+  machine, forcing MET behaviour): m2 = 7, m3 = 3; makespan 6 -> 7.
+"""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.tables import render_etc_table, render_kpb_table
+from repro.core.iterative import IterativeScheduler
+from repro.etc.witness import KPB_EXAMPLE_PERCENT, kpb_example_etc
+from repro.heuristics import KPercentBest
+
+
+@pytest.fixture(scope="module")
+def etc():
+    return kpb_example_etc()
+
+
+def test_bench_table12_etc_matrix(benchmark, etc, paper_output):
+    table = benchmark(
+        render_etc_table, etc, "Table 12. ETC matrix for the K-percent Best example"
+    )
+    paper_output("E12 / Table 12", table)
+    assert "t5" in table
+
+
+def test_bench_table13_original_mapping(benchmark, etc, paper_output):
+    def run():
+        kpb = KPercentBest(percent=KPB_EXAMPLE_PERCENT)
+        return kpb, kpb.map_tasks(etc)
+
+    kpb, mapping = benchmark(run)
+    paper_output(
+        "E13 / Table 13 — KPB original mapping (CTs / K-% subset)",
+        render_kpb_table(kpb.last_trace, etc.machines),
+    )
+    paper_output("Figure 15 — Gantt", render_gantt(mapping))
+    assert mapping.machine_finish_times() == {"m1": 6.0, "m2": 5.0, "m3": 5.5}
+    assert all(len(step.subset) == 2 for step in kpb.last_trace)
+
+
+def test_bench_table14_first_iterative_mapping(benchmark, etc, paper_output):
+    def run():
+        kpb = KPercentBest(percent=KPB_EXAMPLE_PERCENT)
+        return IterativeScheduler(kpb).run(etc)
+
+    result = benchmark(run)
+    first = result.iterations[1]
+    paper_output(
+        "E14 / Table 14 — KPB first iterative mapping (single-machine subsets)",
+        render_kpb_table(first.trace, first.etc.machines),
+    )
+    paper_output("Figure 16 — Gantt", render_gantt(first.mapping))
+    assert first.finish_times() == {"m2": 7.0, "m3": 3.0}
+    assert all(len(step.subset) == 1 for step in first.trace)
+    assert result.makespans()[:2] == (6.0, 7.0)
+    assert result.makespan_increased()

@@ -1,0 +1,70 @@
+"""E4–E8: regenerate paper Tables 4–8 and Figures 6–7, 9–10 (MCT & MET).
+
+Paper-reported values (Sections 3.3–3.4 prose):
+
+* Tables 5, 7 / Figures 6, 9 — original mappings (both heuristics):
+  m1 = 4, m2 = 3, m3 = 3; makespan machine m1;
+* Tables 6, 8 / Figures 7, 10 — first iterative mappings with the t2
+  tie broken to m3: m2 = 1, m3 = 5; makespan increases 4 -> 5.
+"""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.tables import render_allocation_table, render_etc_table
+from repro.core.ties import ScriptedTieBreaker
+from repro.etc.witness import mct_met_example_etc
+from repro.heuristics import MCT, MET
+
+
+@pytest.fixture(scope="module")
+def etc():
+    return mct_met_example_etc()
+
+
+def test_bench_table4_etc_matrix(benchmark, etc, paper_output):
+    table = benchmark(
+        render_etc_table, etc, "Table 4. ETC matrix for MCT and MET examples"
+    )
+    paper_output("E4 / Table 4", table)
+    assert "t4" in table
+
+
+@pytest.mark.parametrize(
+    "cls,table_id,figure_id",
+    [(MCT, "Table 5", "Figure 6"), (MET, "Table 7", "Figure 9")],
+    ids=["mct", "met"],
+)
+def test_bench_original_mapping(benchmark, etc, paper_output, cls, table_id, figure_id):
+    mapping = benchmark(lambda: cls().map_tasks(etc))
+    paper_output(
+        f"E5/E7 / {table_id} — {cls.name.upper()} original mapping",
+        render_allocation_table(mapping),
+    )
+    paper_output(f"{figure_id} — Gantt", render_gantt(mapping))
+    assert mapping.machine_finish_times() == {"m1": 4.0, "m2": 3.0, "m3": 3.0}
+    assert mapping.makespan_machine() == "m1"
+
+
+@pytest.mark.parametrize(
+    "cls,table_id,figure_id",
+    [(MCT, "Table 6", "Figure 7"), (MET, "Table 8", "Figure 10")],
+    ids=["mct", "met"],
+)
+def test_bench_first_iterative_mapping(
+    benchmark, etc, paper_output, cls, table_id, figure_id
+):
+    sub = etc.without_machine("m1", ["t1"])
+
+    def run():
+        return cls().map_tasks(sub, tie_breaker=ScriptedTieBreaker([1]))
+
+    mapping = benchmark(run)
+    paper_output(
+        f"E6/E8 / {table_id} — {cls.name.upper()} first iterative mapping",
+        render_allocation_table(mapping),
+    )
+    paper_output(f"{figure_id} — Gantt", render_gantt(mapping))
+    assert mapping.machine_finish_times() == {"m2": 1.0, "m3": 5.0}
+    assert mapping.makespan() == 5.0  # increased from 4.0
+    assert mapping.makespan_machine() == "m3"

@@ -1,0 +1,56 @@
+"""E1–E3: regenerate paper Tables 1–3 and Figures 3–4 (Min-Min example).
+
+Paper-reported values (Section 3.2 prose):
+
+* Table 2 / Figure 3 — original mapping: m1 = 5, m2 = 2, m3 = 4;
+  makespan machine m1;
+* Table 3 / Figure 4 — first iterative mapping with the t2 tie broken
+  to m3: m2 = 1, m3 = 6; makespan increases 5 -> 6.
+"""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.tables import render_allocation_table, render_etc_table
+from repro.core.ties import ScriptedTieBreaker
+from repro.etc.witness import minmin_example_etc
+from repro.heuristics import MinMin
+
+
+@pytest.fixture(scope="module")
+def etc():
+    return minmin_example_etc()
+
+
+def test_bench_table1_etc_matrix(benchmark, etc, paper_output):
+    table = benchmark(render_etc_table, etc, "Table 1. ETC matrix for Min-Min example")
+    paper_output("E1 / Table 1", table)
+    assert "m3" in table
+
+
+def test_bench_table2_original_mapping(benchmark, etc, paper_output):
+    mapping = benchmark(lambda: MinMin().map_tasks(etc))
+    paper_output(
+        "E2 / Table 2 — Min-Min original mapping",
+        render_allocation_table(mapping),
+    )
+    paper_output("E2 / Figure 3 — original mapping Gantt", render_gantt(mapping))
+    assert mapping.machine_finish_times() == {"m1": 5.0, "m2": 2.0, "m3": 4.0}
+    assert mapping.makespan_machine() == "m1"
+
+
+def test_bench_table3_first_iterative_mapping(benchmark, etc, paper_output):
+    sub = etc.without_machine("m1", ["t4"])
+
+    def run():
+        return MinMin().map_tasks(sub, tie_breaker=ScriptedTieBreaker([1]))
+
+    mapping = benchmark(run)
+    paper_output(
+        "E3 / Table 3 — Min-Min first iterative mapping (tie to m3)",
+        render_allocation_table(mapping),
+    )
+    paper_output("E3 / Figure 4 — first iterative mapping Gantt", render_gantt(mapping))
+    assert mapping.machine_finish_times() == {"m2": 1.0, "m3": 6.0}
+    assert mapping.makespan() == 6.0  # increased from 5.0
+    assert mapping.makespan_machine() == "m3"

@@ -1,0 +1,95 @@
+"""Optimality-gap bench: heuristics vs the exact branch-and-bound oracle.
+
+Braun et al.'s eleventh method was an A* tree search; our equivalent
+exact solver lets us report, on brute-force-scale instances, how far
+each heuristic's makespan sits above the true optimum — the strongest
+possible anchor for the heuristic implementations.
+"""
+
+import numpy as np
+
+from repro.etc.generation import generate_ensemble
+from repro.heuristics import BranchAndBound, get_heuristic
+
+HEURISTICS = (
+    "min-min",
+    "max-min",
+    "mct",
+    "met",
+    "olb",
+    "sufferage",
+    "k-percent-best",
+    "switching-algorithm",
+    "segmented-min-min",
+)
+
+
+def test_bench_optimality_gaps(benchmark, paper_output):
+    instances = generate_ensemble(10, 10, 4, rng=0)
+
+    def run():
+        optima = []
+        for etc in instances:
+            bb = BranchAndBound()
+            optima.append(bb.map_tasks(etc).makespan())
+            assert bb.proven_optimal
+        gaps = {}
+        for name in HEURISTICS:
+            ratios = [
+                get_heuristic(name).map_tasks(etc).makespan() / opt
+                for etc, opt in zip(instances, optima)
+            ]
+            gaps[name] = (float(np.mean(ratios)), float(np.max(ratios)))
+        # iterative searchers with a generous budget, seeded with the
+        # Min-Min solution (the Braun et al. GA methodology)
+        for name, kwargs in (
+            ("genitor", {"iterations": 2000, "population_size": 30, "rng": 0}),
+            ("simulated-annealing", {"steps": 10000, "rng": 0}),
+            ("gsa", {"iterations": 2000, "rng": 0}),
+            ("tabu-search", {"max_hops": 200, "rng": 0}),
+        ):
+            ratios = []
+            for etc, opt in zip(instances, optima):
+                seed_map = get_heuristic("min-min").map_tasks(etc).to_dict()
+                span = get_heuristic(name, **kwargs).map_tasks(
+                    etc, seed_mapping=seed_map
+                ).makespan()
+                ratios.append(span / opt)
+            gaps[name] = (float(np.mean(ratios)), float(np.max(ratios)))
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{name:<22} mean gap {100 * (mean - 1):6.2f}%   worst {100 * (worst - 1):6.2f}%"
+        for name, (mean, worst) in sorted(gaps.items(), key=lambda kv: kv[1][0])
+    ]
+    paper_output(
+        "Optimality gaps vs exact branch-and-bound (10 tasks x 4 machines, x10)",
+        "\n".join(lines),
+    )
+    # sanity ordering: every heuristic >= optimum; the iterative
+    # searchers get within a few percent; OLB is far off
+    for name, (mean, worst) in gaps.items():
+        assert mean >= 1.0 - 1e-9, name
+    # seeded searchers strictly improve on their Min-Min seed
+    assert gaps["genitor"][0] < gaps["min-min"][0]
+    assert gaps["simulated-annealing"][0] < gaps["min-min"][0]
+    # the strongest searchers land within a few percent of optimal
+    assert gaps["tabu-search"][0] < 1.05
+    assert gaps["gsa"][0] < 1.05
+    assert gaps["min-min"][0] < gaps["olb"][0]
+
+
+def test_bench_branch_and_bound_throughput(benchmark):
+    instances = generate_ensemble(5, 12, 4, rng=1)
+
+    def run():
+        nodes = 0
+        for etc in instances:
+            bb = BranchAndBound()
+            bb.map_tasks(etc)
+            nodes += bb.nodes_expanded
+        return nodes
+
+    nodes = benchmark(run)
+    assert nodes > 0

@@ -1,0 +1,88 @@
+"""E25: simulator cross-validation and throughput benches.
+
+(a) For every heuristic, the discrete-event execution of its mapping
+    measures exactly the analytic Eq. (1) finishing times.
+(b) Raw scheduling throughput per heuristic (tasks mapped / second) —
+    the performance envelope a downstream user cares about.
+(c) Dynamic-mode sanity: on-line MCT beats on-line OLB on makespan.
+"""
+
+import pytest
+
+from repro.etc.generation import generate_range_based
+from repro.heuristics import get_heuristic, heuristic_names
+from repro.sim.hcsystem import (
+    DynamicHCSimulation,
+    HCSystem,
+    MCTOnline,
+    OLBOnline,
+    poisson_workload,
+)
+
+
+def test_bench_simulator_agrees_with_analytics(benchmark, paper_output):
+    etc = generate_range_based(100, 10, rng=0)
+    system = HCSystem(etc)
+    mappings = {}
+    for name in heuristic_names():
+        kwargs = {}
+        if name == "genitor":
+            kwargs = {"iterations": 100, "rng": 0}
+        elif name == "random":
+            kwargs = {"rng": 0}
+        mappings[name] = get_heuristic(name, **kwargs).map_tasks(etc)
+
+    def run():
+        deltas = {}
+        for name, mapping in mappings.items():
+            measured = system.measured_finish_times(mapping)
+            analytic = mapping.machine_finish_times()
+            deltas[name] = max(
+                abs(measured[m] - analytic[m]) for m in etc.machines
+            )
+        return deltas
+
+    deltas = benchmark(run)
+    lines = [f"{name:<20} max |simulated - analytic| = {d:.3e}"
+             for name, d in sorted(deltas.items())]
+    paper_output("E25 — simulator vs Eq.(1) cross-validation (100x10)", "\n".join(lines))
+    assert all(d < 1e-6 for d in deltas.values())
+
+
+@pytest.mark.parametrize(
+    "name", ["met", "mct", "olb", "min-min", "max-min", "sufferage",
+             "k-percent-best", "switching-algorithm"]
+)
+def test_bench_heuristic_throughput(benchmark, name):
+    """Mapping throughput on a 200x16 instance (the timing series)."""
+    etc = generate_range_based(200, 16, rng=1)
+    heuristic = get_heuristic(name)
+    mapping = benchmark(heuristic.map_tasks, etc)
+    assert mapping.is_complete()
+
+
+def test_bench_genitor_throughput(benchmark):
+    etc = generate_range_based(100, 8, rng=2)
+    heuristic = get_heuristic("genitor", iterations=500, population_size=30, rng=0)
+    mapping = benchmark.pedantic(heuristic.map_tasks, args=(etc,), rounds=3, iterations=1)
+    assert mapping.is_complete()
+
+
+def test_bench_dynamic_simulation(benchmark, paper_output):
+    etc = generate_range_based(150, 8, rng=3)
+    workload = poisson_workload(etc, rate=0.001, rng=4)
+
+    def run():
+        mct = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        olb = DynamicHCSimulation(workload, policy=OLBOnline()).run()
+        return mct, olb
+
+    mct_trace, olb_trace = benchmark(run)
+    paper_output(
+        "E25 — dynamic mode (Poisson arrivals, 150 tasks / 8 machines)",
+        f"on-line MCT makespan: {mct_trace.makespan():.6g}\n"
+        f"on-line OLB makespan: {olb_trace.makespan():.6g}\n"
+        f"on-line MCT mean queue wait: {mct_trace.mean_queue_wait():.6g}",
+    )
+    assert len(mct_trace) == etc.num_tasks
+    assert mct_trace.makespan() <= olb_trace.makespan()

@@ -1,0 +1,59 @@
+"""E15–E17: regenerate paper Tables 15–17 and Figures 18–19 (Sufferage).
+
+Paper-reported values (Section 3.7 prose; deterministic ties):
+
+* Table 16 / Figure 18 — original mapping (multi-pass trace):
+  m1 = 10, m2 = 9.5, m3 = 9.5; makespan machine m1;
+* Table 17 / Figure 19 — first iterative mapping: m2 = 10.5, m3 = 8.5;
+  makespan increases 10 -> 10.5.
+"""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.tables import render_etc_table, render_sufferage_table
+from repro.core.iterative import IterativeScheduler
+from repro.etc.witness import sufferage_example_etc
+from repro.heuristics import Sufferage
+
+
+@pytest.fixture(scope="module")
+def etc():
+    return sufferage_example_etc()
+
+
+def test_bench_table15_etc_matrix(benchmark, etc, paper_output):
+    table = benchmark(
+        render_etc_table, etc, "Table 15. ETC matrix for Sufferage example"
+    )
+    paper_output("E15 / Table 15", table)
+    assert "t8" in table
+
+
+def test_bench_table16_original_mapping(benchmark, etc, paper_output):
+    def run():
+        s = Sufferage()
+        return s, s.map_tasks(etc)
+
+    s, mapping = benchmark(run)
+    paper_output(
+        "E16 / Table 16 — Sufferage original mapping (per-pass trace)",
+        render_sufferage_table(s.last_trace),
+    )
+    paper_output("Figure 18 — Gantt", render_gantt(mapping))
+    assert mapping.machine_finish_times() == {"m1": 10.0, "m2": 9.5, "m3": 9.5}
+    assert mapping.makespan_machine() == "m1"
+    assert len(s.last_trace) >= 4
+
+
+def test_bench_table17_first_iterative_mapping(benchmark, etc, paper_output):
+    result = benchmark(lambda: IterativeScheduler(Sufferage()).run(etc))
+    first = result.iterations[1]
+    paper_output(
+        "E17 / Table 17 — Sufferage first iterative mapping (per-pass trace)",
+        render_sufferage_table(first.trace),
+    )
+    paper_output("Figure 19 — Gantt", render_gantt(first.mapping))
+    assert first.finish_times() == {"m2": 10.5, "m3": 8.5}
+    assert result.makespans()[:2] == (10.0, 10.5)
+    assert result.makespan_increased()

@@ -1,0 +1,82 @@
+"""E9–E11: regenerate paper Tables 9–11 and Figures 11–12 (SWA).
+
+Paper-reported values (Section 3.5 prose; deterministic tie-breaking):
+
+* Table 10 / Figure 11 — original: BI trace x, 0, 0, 1/3, 2/3;
+  heuristics MCT, MCT, MCT, MCT, MET; m1 = 6, m2 = 5, m3 = 5;
+* Table 11 / Figure 12 — first iterative mapping: BI trace
+  x, 0, 1/2, 4/13; heuristics MCT, MCT, MET, MCT; m2 = 4, m3 = 6.5;
+  makespan increases 6 -> 6.5.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.tables import render_etc_table, render_swa_table
+from repro.core.iterative import IterativeScheduler
+from repro.etc.witness import (
+    SWA_EXAMPLE_HIGH_THRESHOLD,
+    SWA_EXAMPLE_LOW_THRESHOLD,
+    swa_example_etc,
+)
+from repro.heuristics import SwitchingAlgorithm
+
+
+@pytest.fixture(scope="module")
+def etc():
+    return swa_example_etc()
+
+
+def _swa():
+    return SwitchingAlgorithm(
+        low=SWA_EXAMPLE_LOW_THRESHOLD, high=SWA_EXAMPLE_HIGH_THRESHOLD
+    )
+
+
+def test_bench_table9_etc_matrix(benchmark, etc, paper_output):
+    table = benchmark(render_etc_table, etc, "Table 9. ETC matrix for SWA example")
+    paper_output("E9 / Table 9", table)
+    assert "t5" in table
+
+
+def test_bench_table10_original_mapping(benchmark, etc, paper_output):
+    def run():
+        swa = _swa()
+        return swa, swa.map_tasks(etc)
+
+    swa, mapping = benchmark(run)
+    paper_output(
+        "E10 / Table 10 — SWA original mapping (BI / CTs / heuristic)",
+        render_swa_table(swa.last_trace, etc.machines),
+    )
+    paper_output("Figure 11 — Gantt", render_gantt(mapping))
+    assert mapping.machine_finish_times() == {"m1": 6.0, "m2": 5.0, "m3": 5.0}
+    bis = [s.bi for s in swa.last_trace]
+    assert math.isnan(bis[0])
+    assert bis[1:] == pytest.approx([0.0, 0.0, 1 / 3, 2 / 3])
+    assert [s.heuristic for s in swa.last_trace] == [
+        "mct", "mct", "mct", "mct", "met",
+    ]
+
+
+def test_bench_table11_first_iterative_mapping(benchmark, etc, paper_output):
+    def run():
+        swa = _swa()
+        return IterativeScheduler(swa).run(etc)
+
+    result = benchmark(run)
+    first = result.iterations[1]
+    paper_output(
+        "E11 / Table 11 — SWA first iterative mapping",
+        render_swa_table(first.trace, first.etc.machines),
+    )
+    paper_output("Figure 12 — Gantt", render_gantt(first.mapping))
+    assert first.finish_times() == {"m2": 4.0, "m3": 6.5}
+    bis = [s.bi for s in first.trace]
+    assert math.isnan(bis[0])
+    assert bis[1:] == pytest.approx([0.0, 0.5, 4 / 13])
+    assert [s.heuristic for s in first.trace] == ["mct", "mct", "met", "mct"]
+    assert result.makespans()[:2] == (6.0, 6.5)
+    assert result.makespan_increased()

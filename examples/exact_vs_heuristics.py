@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""How far from optimal are the heuristics?  Ask the exact solver.
+
+Braun et al. included an A* tree search among their eleven methods; the
+library's branch-and-bound plays that role as an *optimality oracle*.
+On brute-force-scale instances it proves the true minimum makespan, so
+we can report exact optimality gaps — and watch the iterative searchers
+close them when seeded with Min-Min.
+
+Run:  python examples/exact_vs_heuristics.py
+"""
+
+import numpy as np
+
+from repro.etc import Heterogeneity, generate_range_based
+from repro.heuristics import BranchAndBound, get_heuristic
+
+GREEDY = ("min-min", "max-min", "mct", "met", "sufferage",
+          "k-percent-best", "switching-algorithm", "olb")
+SEARCHERS = (
+    ("genitor", {"iterations": 2000, "population_size": 30, "rng": 0}),
+    ("simulated-annealing", {"steps": 10000, "rng": 0}),
+    ("tabu-search", {"max_hops": 200, "rng": 0}),
+    ("gsa", {"iterations": 2000, "rng": 0}),
+)
+
+
+def main() -> None:
+    instances = [
+        generate_range_based(10, 4, Heterogeneity.HIHI, rng=seed)
+        for seed in range(8)
+    ]
+    optima = []
+    total_nodes = 0
+    for etc in instances:
+        oracle = BranchAndBound()
+        optima.append(oracle.map_tasks(etc).makespan())
+        assert oracle.proven_optimal
+        total_nodes += oracle.nodes_expanded
+    print(f"exact optima for 8 instances (10 tasks x 4 machines) proven with "
+          f"{total_nodes} B&B nodes total\n")
+
+    rows = []
+    for name in GREEDY:
+        gaps = [
+            get_heuristic(name).map_tasks(etc).makespan() / opt - 1.0
+            for etc, opt in zip(instances, optima)
+        ]
+        rows.append((name, float(np.mean(gaps)), float(np.max(gaps))))
+    for name, kwargs in SEARCHERS:
+        gaps = []
+        for etc, opt in zip(instances, optima):
+            seed_map = get_heuristic("min-min").map_tasks(etc).to_dict()
+            span = get_heuristic(name, **kwargs).map_tasks(
+                etc, seed_mapping=seed_map
+            ).makespan()
+            gaps.append(span / opt - 1.0)
+        rows.append((f"{name} (seeded)", float(np.mean(gaps)), float(np.max(gaps))))
+
+    print(f"{'method':<28}{'mean gap':>10}{'worst gap':>11}")
+    print("-" * 49)
+    for name, mean, worst in sorted(rows, key=lambda r: r[1]):
+        print(f"{name:<28}{100 * mean:>9.2f}%{100 * worst:>10.2f}%")
+
+    print("""
+The ordering mirrors Braun et al.: iterative searchers land within a
+few percent of optimal, the Min-Min family sits mid-pack, and the
+one-dimensional policies (MET ignores load, OLB ignores heterogeneity)
+trail far behind.  On instances this small the exact solver itself is
+cheap — it only becomes intractable at realistic scale, which is why
+the field runs on heuristics at all.""")
+
+
+if __name__ == "__main__":
+    main()

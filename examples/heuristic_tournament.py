@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Cross-heuristic tournament on the standard ETC classes.
+
+Reproduces the Braun et al.-style comparison the paper's heuristic suite
+comes from: mean original-mapping makespan for all eleven registered
+heuristics across heterogeneity x consistency classes, followed by the
+paper's own question — what does the iterative technique do to each of
+them?
+
+Run:  python examples/heuristic_tournament.py          (full, ~1 min)
+      python examples/heuristic_tournament.py --quick  (small grid)
+"""
+
+import sys
+
+from repro.analysis import (
+    format_comparison_table,
+    format_improvement_table,
+    heuristic_comparison,
+    improvement_study,
+)
+from repro.etc import Consistency, Heterogeneity
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    tasks, machines, instances = (20, 5, 5) if quick else (40, 8, 12)
+
+    print("=" * 72)
+    print("Part 1 — mean makespan by heuristic (original mappings)")
+    print("=" * 72)
+    rows = heuristic_comparison(
+        (
+            "genitor", "min-min", "max-min", "duplex", "mct", "met",
+            "sufferage", "k-percent-best", "switching-algorithm", "olb",
+            "random",
+        ),
+        num_tasks=tasks,
+        num_machines=machines,
+        instances=instances,
+        heterogeneities=(Heterogeneity.HIHI, Heterogeneity.LOLO),
+        consistencies=(Consistency.CONSISTENT, Consistency.INCONSISTENT),
+        seed=0,
+        heuristic_kwargs={
+            "genitor": {"iterations": 300 if quick else 1500,
+                        "population_size": 30}
+        },
+    )
+    print(format_comparison_table(rows))
+
+    print()
+    print("=" * 72)
+    print("Part 2 — what the iterative technique does to each heuristic")
+    print("         (deterministic ties; hihi / inconsistent)")
+    print("=" * 72)
+    study = improvement_study(
+        heuristics=(
+            "min-min", "mct", "met",
+            "sufferage", "k-percent-best", "switching-algorithm",
+        ),
+        num_tasks=tasks,
+        num_machines=machines,
+        instances=instances,
+        tie_policies=("deterministic",),
+        seed=1,
+    )
+    print(format_improvement_table(study))
+    print("""
+Reading the table: the paper's invariant trio (min-min / mct / met)
+shows 0% mapping changes — the technique is provably a no-op for them.
+The hybrid heuristics change their mappings frequently; some machines
+finish earlier (m-impr%), some later (m-wors%), and occasionally the
+makespan itself increases (ms-inc%) even though every tie was broken
+deterministically — the paper's central caveat.""")
+
+
+if __name__ == "__main__":
+    main()

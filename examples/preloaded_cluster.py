@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Pre-loaded machines, freeze-policy variants and trajectories.
+
+The paper's proofs take initial ready times of zero "without loss of
+generality", but production machines are rarely idle: they are still
+draining earlier work.  This example exercises the general machinery:
+
+1. a batch is mapped onto machines with *non-zero initial ready times*
+   (each machine pre-loaded with ~40% of a mean machine-load of work);
+2. the invariance theorems still hold in this regime (demonstrated);
+3. the iterative technique runs under all three freeze policies and we
+   compare their finishing-time profiles;
+4. the per-iteration makespan trajectory is rendered as an ASCII chart.
+
+Run:  python examples/preloaded_cluster.py
+"""
+
+from repro.analysis import render_comparison, render_series, sparkline, trajectory_of
+from repro.core import IterativeScheduler
+from repro.core.freezing import FREEZE_POLICIES
+from repro.core.metrics import compare_iterative
+from repro.etc import Heterogeneity, busy_fraction_ready_times, generate_range_based
+from repro.heuristics import get_heuristic
+
+
+def main() -> None:
+    etc = generate_range_based(36, 8, Heterogeneity.HILO, rng=21)
+    ready = busy_fraction_ready_times(etc, fraction=0.4, rng=22)
+    print("Initial ready times (machines pre-loaded ~40% of a mean load):")
+    for machine, value in ready.items():
+        print(f"  {machine}: {value:,.0f}")
+
+    # 1-2. the invariance theorems survive non-zero ready times
+    print("\nTheorem check with pre-loaded machines:")
+    for name in ("min-min", "mct", "met"):
+        result = IterativeScheduler(get_heuristic(name)).run(etc, ready_times=ready)
+        status = "unchanged" if not result.mapping_changed() else "CHANGED (?)"
+        print(f"  {name:<9} iterative mappings {status}")
+
+    # 3. freeze-policy comparison under Sufferage
+    print("\nFreeze-policy comparison (Sufferage):")
+    for label, policy in FREEZE_POLICIES.items():
+        scheduler = IterativeScheduler(
+            get_heuristic("sufferage"), freeze_policy=policy
+        )
+        result = scheduler.run(etc, ready_times=ready)
+        finishes = sorted(result.final_finish_times.values())
+        print(
+            f"  {label:<16} final makespan {max(finishes):>12,.0f}   "
+            f"finish spread {sparkline(finishes)}"
+        )
+
+    # 4. trajectory of the paper's default policy
+    result = IterativeScheduler(get_heuristic("sufferage")).run(
+        etc, ready_times=ready
+    )
+    traj = trajectory_of(result)
+    print("\nPer-iteration makespan trajectory (paper's makespan rule):")
+    print(render_series(traj.makespans, width=40, height=8))
+    print(f"monotone: {traj.monotone()}")
+
+    print("\nOriginal vs iterative finishing times:")
+    print(render_comparison(compare_iterative(result)))
+
+
+if __name__ == "__main__":
+    main()

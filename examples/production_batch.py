@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: an off-line production environment.
+
+"Consider a production environment where a set of known tasks are to be
+mapped to resources off-line before execution begins.  Minimizing the
+finishing times of all the machines will provide the earliest available
+times ready for these machines to execute tasks that were not initially
+considered."  (paper Section 1)
+
+This example makes that concrete:
+
+1. A *planned batch* of 30 tasks is mapped off-line.
+2. The iterative technique is applied (with the seeded wrapper from the
+   paper's conclusion, so it can only help).
+3. A *surprise batch* of 10 unplanned tasks arrives; it is mapped with
+   machine ready times equal to the finishing times of step 2.
+4. We measure how much earlier the surprise batch completes thanks to
+   the iterative technique — the quantity the paper's motivation is
+   about.
+
+Run:  python examples/production_batch.py
+"""
+
+from repro import (
+    Heterogeneity,
+    IterativeScheduler,
+    SeededIterativeScheduler,
+    generate_range_based,
+    get_heuristic,
+)
+from repro.analysis import render_comparison
+from repro.core.metrics import compare_iterative
+
+
+def surprise_batch_makespan(ready_times: dict[str, float], surprise_etc) -> float:
+    """Map the surprise batch on machines with the given ready times."""
+    heuristic = get_heuristic("min-min")
+    mapping = heuristic.map_tasks(
+        surprise_etc, [ready_times[m] for m in surprise_etc.machines]
+    )
+    return mapping.makespan()
+
+
+def main() -> None:
+    machines = 6
+    planned = generate_range_based(30, machines, Heterogeneity.HILO, rng=12)
+    surprise = generate_range_based(10, machines, Heterogeneity.HILO, rng=8)
+
+    heuristic = get_heuristic("sufferage")
+
+    # --- plan A: original mapping only -------------------------------
+    original = heuristic.map_tasks(planned)
+    ready_a = original.machine_finish_times()
+
+    # --- plan B: iterative technique (seeded, monotone) --------------
+    result = SeededIterativeScheduler(get_heuristic("sufferage")).run(planned)
+    ready_b = result.final_finish_times
+
+    print("Planned batch: 30 tasks on 6 machines (Sufferage)")
+    print(render_comparison(compare_iterative(result)))
+
+    span_a = surprise_batch_makespan(ready_a, surprise)
+    span_b = surprise_batch_makespan(ready_b, surprise)
+    print("\nSurprise batch of 10 unplanned tasks, mapped with Min-Min on")
+    print("the machines' post-batch ready times:")
+    print(f"  after original mapping only : finishes at {span_a:.6g}")
+    print(f"  after iterative technique   : finishes at {span_b:.6g}")
+    if span_b < span_a:
+        print(f"  -> the surprise batch finishes {span_a - span_b:.6g} earlier "
+              f"({100 * (span_a - span_b) / span_a:.1f}%)")
+    else:
+        print("  -> no improvement on this instance (the technique offers no "
+              "guarantee for greedy heuristics — the paper's point)")
+
+    # --- plain (unseeded) iterations for contrast ---------------------
+    plain = IterativeScheduler(get_heuristic("sufferage")).run(planned)
+    if plain.makespan_increased():
+        print("\nNote: the *unseeded* iterative run increased its makespan on "
+              "this instance,\nexactly the failure mode the paper documents "
+              "for Sufferage (Section 3.7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: map a batch of tasks, then run the iterative technique.
+
+Demonstrates the core public API in ~40 lines:
+
+1. generate a synthetic ETC matrix (Braun et al. range-based method);
+2. map it with Min-Min;
+3. run the paper's iterative non-makespan minimisation technique;
+4. compare per-machine finishing times, original vs iterative.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Heterogeneity,
+    IterativeScheduler,
+    compare_iterative,
+    generate_range_based,
+    get_heuristic,
+)
+from repro.analysis import render_comparison, render_gantt, render_iteration_overview
+
+
+def main() -> None:
+    # 1. A 12-task / 4-machine heterogeneous suite, reproducible by seed.
+    etc = generate_range_based(
+        num_tasks=12, num_machines=4, heterogeneity=Heterogeneity.HIHI, rng=42
+    )
+    print("ETC matrix (tasks x machines):")
+    print(etc.pretty())
+
+    # 2. The original mapping.
+    heuristic = get_heuristic("min-min")
+    mapping = heuristic.map_tasks(etc)
+    print("\nOriginal Min-Min mapping:")
+    print(render_gantt(mapping))
+    print(f"\nmakespan = {mapping.makespan():.4g} "
+          f"on machine {mapping.makespan_machine()}")
+
+    # 3. The iterative technique: freeze the makespan machine, re-map the
+    #    rest, repeat (paper Section 2).
+    result = IterativeScheduler(heuristic).run(etc)
+    print("\nIterative run:")
+    print(render_iteration_overview(result))
+
+    # 4. Did any machine finish earlier?  (For Min-Min with deterministic
+    #    ties the paper proves the answer is always "no change".)
+    print("\nOriginal vs iterative finishing times:")
+    print(render_comparison(compare_iterative(result)))
+
+    # Try the same with a heuristic the technique *does* reshuffle:
+    result = IterativeScheduler(get_heuristic("sufferage")).run(etc)
+    print("\nSame instance under Sufferage:")
+    print(render_comparison(compare_iterative(result)))
+
+
+if __name__ == "__main__":
+    main()

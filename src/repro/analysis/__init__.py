@@ -1,0 +1,133 @@
+"""Analysis toolkit: theorem checkers, witness search, studies, rendering."""
+
+from repro.analysis.counterexamples import (
+    Counterexample,
+    find_makespan_increase,
+    half_integer_grid,
+    search_counterexample,
+)
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    RunRecord,
+    run_experiment,
+    stable_key,
+)
+from repro.analysis.dynamic_study import (
+    DynamicPolicySpec,
+    DynamicStudyRow,
+    default_policies,
+    dynamic_policy_study,
+    format_dynamic_table,
+)
+from repro.analysis.export import (
+    comparison_rows_to_rows,
+    improvement_rows_to_rows,
+    iterative_result_to_dict,
+    run_records_to_rows,
+    write_csv,
+    write_json,
+)
+from repro.analysis.gantt import GanttBar, gantt_bars, render_gantt
+from repro.analysis.parallel import run_experiment_parallel, split_into_cells
+from repro.analysis.invariance import (
+    INVARIANT_HEURISTICS,
+    InvarianceReport,
+    InvarianceViolation,
+    is_iteration_invariant,
+    makespans_monotone,
+    verify_invariance,
+)
+from repro.analysis.report import ExampleOutcome, build_report, paper_example_outcomes
+from repro.analysis.robustness import (
+    DegradationSummary,
+    makespan_degradation,
+    perturbed_finish_times,
+    robustness_radius,
+)
+from repro.analysis.stats import Summary, bootstrap_ci, proportion_ci, summarize
+from repro.analysis.study import (
+    ComparisonRow,
+    ImprovementRow,
+    format_comparison_table,
+    format_improvement_table,
+    heuristic_comparison,
+    improvement_study,
+)
+from repro.analysis.trajectory import (
+    IterationTrajectory,
+    render_series,
+    sparkline,
+    trajectory_of,
+)
+from repro.analysis.tables import (
+    render_allocation_table,
+    render_comparison,
+    render_etc_table,
+    render_finish_times,
+    render_iteration_overview,
+    render_kpb_table,
+    render_sufferage_table,
+    render_swa_table,
+)
+
+__all__ = [
+    "Counterexample",
+    "find_makespan_increase",
+    "search_counterexample",
+    "half_integer_grid",
+    "ExperimentConfig",
+    "RunRecord",
+    "run_experiment",
+    "stable_key",
+    "run_records_to_rows",
+    "improvement_rows_to_rows",
+    "comparison_rows_to_rows",
+    "iterative_result_to_dict",
+    "write_csv",
+    "write_json",
+    "DynamicPolicySpec",
+    "DynamicStudyRow",
+    "default_policies",
+    "dynamic_policy_study",
+    "format_dynamic_table",
+    "GanttBar",
+    "gantt_bars",
+    "render_gantt",
+    "run_experiment_parallel",
+    "split_into_cells",
+    "INVARIANT_HEURISTICS",
+    "InvarianceReport",
+    "InvarianceViolation",
+    "is_iteration_invariant",
+    "makespans_monotone",
+    "verify_invariance",
+    "ExampleOutcome",
+    "build_report",
+    "paper_example_outcomes",
+    "DegradationSummary",
+    "makespan_degradation",
+    "perturbed_finish_times",
+    "robustness_radius",
+    "Summary",
+    "summarize",
+    "bootstrap_ci",
+    "proportion_ci",
+    "ImprovementRow",
+    "improvement_study",
+    "format_improvement_table",
+    "ComparisonRow",
+    "heuristic_comparison",
+    "format_comparison_table",
+    "render_etc_table",
+    "render_allocation_table",
+    "render_swa_table",
+    "render_kpb_table",
+    "render_sufferage_table",
+    "render_finish_times",
+    "render_comparison",
+    "render_iteration_overview",
+    "IterationTrajectory",
+    "trajectory_of",
+    "sparkline",
+    "render_series",
+]

@@ -1,0 +1,216 @@
+"""Witness search: instances where the iterative technique backfires.
+
+The paper demonstrates by worked example that SWA, K-percent Best and
+Sufferage can *increase* makespan under the iterative technique even
+with deterministic tie-breaking, and that MET/MCT/Min-Min can do so
+under random tie-breaking.  This module automates finding such
+witnesses:
+
+* :func:`find_makespan_increase` — random sampling over a value grid
+  until an instance with a makespan increase appears;
+* :func:`search_counterexample` — random-restart hill climbing that can
+  additionally target *exact* completion-time vectors; this is the
+  procedure that derived the frozen Sufferage example matrix in
+  :mod:`repro.etc.witness`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.iterative import IterativeResult, IterativeScheduler
+from repro.core.ties import DeterministicTieBreaker, TieBreaker
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+from repro.heuristics.base import Heuristic, get_heuristic
+
+__all__ = [
+    "Counterexample",
+    "find_makespan_increase",
+    "search_counterexample",
+    "half_integer_grid",
+]
+
+
+def half_integer_grid(low: float = 0.5, high: float = 10.0) -> np.ndarray:
+    """The half-integer value grid used for human-readable witnesses."""
+    if low <= 0 or high <= low:
+        raise ConfigurationError(f"need 0 < low < high, got {low}, {high}")
+    return np.arange(round(low * 2), round(high * 2) + 1) * 0.5
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A witness instance together with its iterative run."""
+
+    etc: ETCMatrix
+    result: IterativeResult
+
+    @property
+    def original_makespan(self) -> float:
+        return self.result.original.makespan
+
+    @property
+    def peak_makespan(self) -> float:
+        return max(self.result.makespans())
+
+    @property
+    def increase(self) -> float:
+        """Largest single-step makespan growth across iterations."""
+        spans = self.result.makespans()
+        return max((b - a for a, b in zip(spans, spans[1:])), default=0.0)
+
+    def describe(self) -> str:
+        return (
+            f"{self.result.heuristic_name}: makespan "
+            f"{self.original_makespan:.6g} -> peak {self.peak_makespan:.6g} "
+            f"on a {self.etc.num_tasks}x{self.etc.num_machines} instance"
+        )
+
+
+def _scheduler_for(
+    heuristic: Heuristic | str | Callable[[], Heuristic],
+    tie_breaker_factory: Callable[[], TieBreaker] | None,
+) -> Callable[[], IterativeScheduler]:
+    def build() -> IterativeScheduler:
+        if isinstance(heuristic, str):
+            h: Heuristic = get_heuristic(heuristic)
+        elif isinstance(heuristic, Heuristic):
+            h = heuristic
+        else:
+            h = heuristic()
+        breaker = (
+            tie_breaker_factory() if tie_breaker_factory else DeterministicTieBreaker()
+        )
+        return IterativeScheduler(h, tie_breaker=breaker)
+
+    return build
+
+
+def find_makespan_increase(
+    heuristic: Heuristic | str | Callable[[], Heuristic],
+    *,
+    num_tasks: int = 8,
+    num_machines: int = 3,
+    trials: int = 2000,
+    value_grid: Sequence[float] | np.ndarray | None = None,
+    tie_breaker_factory: Callable[[], TieBreaker] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> Counterexample | None:
+    """Randomly sample instances until one increases its makespan.
+
+    ``tie_breaker_factory`` builds a fresh policy per trial (pass e.g.
+    ``lambda: RandomTieBreaker(rng)`` to hunt the MET/MCT/Min-Min
+    random-tie phenomenon).  Returns ``None`` when no witness appears
+    within ``trials`` samples.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    grid = np.asarray(value_grid if value_grid is not None else half_integer_grid())
+    build = _scheduler_for(heuristic, tie_breaker_factory)
+    for _ in range(trials):
+        values = gen.choice(grid, size=(num_tasks, num_machines))
+        etc = ETCMatrix(values)
+        result = build().run(etc)
+        if result.makespan_increased():
+            return Counterexample(etc=etc, result=result)
+    return None
+
+
+def search_counterexample(
+    heuristic: Heuristic | str | Callable[[], Heuristic],
+    *,
+    num_tasks: int = 9,
+    num_machines: int = 3,
+    target_original: Sequence[float] | None = None,
+    target_first_iteration: Sequence[float] | None = None,
+    value_grid: Sequence[float] | np.ndarray | None = None,
+    restarts: int = 50,
+    steps: int = 2000,
+    rng: np.random.Generator | int | None = None,
+    tie_breaker_factory: Callable[[], TieBreaker] | None = None,
+) -> Counterexample | None:
+    """Random-restart hill climbing toward a makespan-increase witness.
+
+    When ``target_original`` / ``target_first_iteration`` (sorted
+    finishing-time vectors) are given, the objective is the L1 distance
+    to those vectors — this mode reconstructs paper examples whose
+    matrices are unavailable but whose completion times are documented.
+    Without targets the objective is simply to maximise the makespan
+    increase, returning the first strict-increase witness found.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    grid = np.asarray(value_grid if value_grid is not None else half_integer_grid())
+    build = _scheduler_for(heuristic, tie_breaker_factory)
+    t_orig = None if target_original is None else np.sort(np.asarray(target_original))
+    t_iter = (
+        None
+        if target_first_iteration is None
+        else np.sort(np.asarray(target_first_iteration))
+    )
+    targeted = t_orig is not None or t_iter is not None
+
+    def objective(values: np.ndarray) -> tuple[float, IterativeResult | None]:
+        """Lower is better; 0 means 'witness found' in targeted mode."""
+        try:
+            etc = ETCMatrix(values)
+            result = build().run(etc, max_iterations=2)
+        except Exception:
+            return (np.inf, None)
+        if targeted:
+            dist = 0.0
+            orig = np.sort(result.original.mapping.finish_time_vector())
+            if t_orig is not None:
+                if orig.size != t_orig.size:
+                    return (np.inf, None)
+                dist += float(np.abs(orig - t_orig).sum())
+                # the makespan machine must be uniquely determined
+                if orig.size > 1 and orig[-1] <= orig[-2] + 1e-9:
+                    dist += 1.0
+            if t_iter is not None and result.num_iterations > 1:
+                it = np.sort(result.iterations[1].mapping.finish_time_vector())
+                if it.size != t_iter.size:
+                    return (np.inf, None)
+                dist += float(np.abs(it - t_iter).sum())
+            elif t_iter is not None:
+                return (np.inf, None)
+            return (dist, result)
+        increase = max(
+            (
+                b - a
+                for a, b in zip(result.makespans(), result.makespans()[1:])
+            ),
+            default=0.0,
+        )
+        return (-increase, result)
+
+    best: tuple[float, Counterexample | None] = (np.inf, None)
+    for _ in range(restarts):
+        current = gen.choice(grid, size=(num_tasks, num_machines))
+        score, result = objective(current)
+        for _ in range(steps):
+            candidate = current.copy()
+            for _ in range(int(gen.integers(1, 3))):
+                i = int(gen.integers(0, num_tasks))
+                j = int(gen.integers(0, num_machines))
+                candidate[i, j] = gen.choice(grid)
+            cand_score, cand_result = objective(candidate)
+            if cand_score <= score:
+                current, score, result = candidate, cand_score, cand_result
+            if targeted and score == 0.0:
+                break
+            if not targeted and score < 0.0:
+                break
+        if result is not None and score < best[0]:
+            # Re-run without the iteration cap for a complete trace.
+            full = build().run(ETCMatrix(current))
+            best = (score, Counterexample(etc=ETCMatrix(current), result=full))
+        if targeted and best[0] == 0.0:
+            return best[1]
+        if not targeted and best[0] < 0.0:
+            return best[1]
+    if targeted:
+        return best[1] if best[0] == 0.0 else None
+    return best[1] if best[0] < 0.0 else None

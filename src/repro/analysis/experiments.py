@@ -1,0 +1,161 @@
+"""Experiment grid runner.
+
+Runs the iterative technique for a grid of heuristics × ETC classes ×
+instances, collecting one :class:`RunRecord` per (heuristic, instance)
+cell.  All randomness is derived from a single seed: instance
+generation, random tie-breaking and stochastic heuristics (Genitor,
+random baseline) each get independent child generators via
+``numpy.random.SeedSequence`` spawning, so adding a heuristic to the
+grid never perturbs another heuristic's stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.metrics import IterativeComparison, compare_iterative
+from repro.core.seeding import SeededIterativeScheduler
+from repro.core.ties import DeterministicTieBreaker, RandomTieBreaker
+from repro.etc.generation import Consistency, Heterogeneity, generate_ensemble
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+from repro.heuristics.base import get_heuristic
+
+__all__ = ["ExperimentConfig", "RunRecord", "run_experiment", "stable_key"]
+
+#: Heuristics that accept an ``rng`` constructor argument.
+_STOCHASTIC = {"genitor", "random", "simulated-annealing", "tabu-search", "gsa"}
+
+
+def stable_key(*parts: str) -> int:
+    """Process-stable 32-bit key for SeedSequence spawn keys.
+
+    Python's builtin ``hash`` of strings is randomised per process
+    (PYTHONHASHSEED), which would make experiment grids irreproducible
+    across runs; CRC32 is stable everywhere.
+    """
+    import zlib
+
+    return zlib.crc32("\x1f".join(parts).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Declarative description of one experiment grid."""
+
+    heuristics: tuple[str, ...] = ("min-min", "mct", "met")
+    num_tasks: int = 50
+    num_machines: int = 8
+    heterogeneities: tuple[Heterogeneity, ...] = (Heterogeneity.HIHI,)
+    consistencies: tuple[Consistency, ...] = (Consistency.INCONSISTENT,)
+    instances_per_cell: int = 20
+    tie_policy: str = "deterministic"  # or "random"
+    generation_method: str = "range"  # or "cvb"
+    seeded_iterations: bool = False  # use SeededIterativeScheduler
+    seed: int = 0
+    #: Extra constructor kwargs per heuristic name, e.g.
+    #: ``{"genitor": {"iterations": 200, "population_size": 20}}``.
+    heuristic_kwargs: MappingABC[str, MappingABC[str, object]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.tie_policy not in ("deterministic", "random"):
+            raise ConfigurationError(f"unknown tie policy {self.tie_policy!r}")
+        if self.instances_per_cell < 1:
+            raise ConfigurationError(
+                f"instances_per_cell must be >= 1, got {self.instances_per_cell}"
+            )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (heuristic, instance) outcome."""
+
+    heuristic: str
+    heterogeneity: Heterogeneity
+    consistency: Consistency
+    instance_index: int
+    tie_policy: str
+    comparison: IterativeComparison
+    num_iterations: int
+
+    @property
+    def etc_class(self) -> str:
+        return f"{self.heterogeneity.value}/{self.consistency.value}"
+
+
+def run_experiment(config: ExperimentConfig) -> list[RunRecord]:
+    """Execute the grid; returns one record per heuristic per instance."""
+    root = np.random.SeedSequence(config.seed)
+    instance_seed, heuristic_seed, tie_seed = root.spawn(3)
+    records: list[RunRecord] = []
+
+    for het in config.heterogeneities:
+        for cons in config.consistencies:
+            cell_rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=instance_seed.entropy,
+                    spawn_key=(stable_key(het.value, cons.value),),
+                )
+            )
+            instances = generate_ensemble(
+                config.instances_per_cell,
+                config.num_tasks,
+                config.num_machines,
+                heterogeneity=het,
+                consistency=cons,
+                method=config.generation_method,
+                rng=cell_rng,
+            )
+            for name in config.heuristics:
+                h_seed, t_seed = np.random.SeedSequence(
+                    entropy=heuristic_seed.entropy,
+                    spawn_key=(stable_key(name, het.value, cons.value),),
+                ).spawn(2)
+                h_rng = np.random.default_rng(h_seed)
+                t_rng = np.random.default_rng(t_seed)
+                for idx, etc in enumerate(instances):
+                    records.append(
+                        _run_one(config, name, het, cons, idx, etc, h_rng, t_rng)
+                    )
+    return records
+
+
+def _run_one(
+    config: ExperimentConfig,
+    name: str,
+    het: Heterogeneity,
+    cons: Consistency,
+    idx: int,
+    etc: ETCMatrix,
+    h_rng: np.random.Generator,
+    t_rng: np.random.Generator,
+) -> RunRecord:
+    kwargs = dict(config.heuristic_kwargs.get(name, {}))
+    if name in _STOCHASTIC and "rng" not in kwargs:
+        kwargs["rng"] = h_rng
+    heuristic = get_heuristic(name, **kwargs)
+    breaker = (
+        DeterministicTieBreaker()
+        if config.tie_policy == "deterministic"
+        else RandomTieBreaker(t_rng)
+    )
+    scheduler_cls = (
+        SeededIterativeScheduler if config.seeded_iterations else IterativeScheduler
+    )
+    scheduler = scheduler_cls(heuristic, tie_breaker=breaker)
+    result = scheduler.run(etc)
+    return RunRecord(
+        heuristic=name,
+        heterogeneity=het,
+        consistency=cons,
+        instance_index=idx,
+        tie_policy=config.tie_policy,
+        comparison=compare_iterative(result),
+        num_iterations=result.num_iterations,
+    )

@@ -1,0 +1,139 @@
+"""Export experiment artifacts to CSV/JSON.
+
+Turns the in-memory result objects into plain-dict rows and writes them
+out, so study outputs can be consumed by external plotting/statistics
+tooling without importing this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Mapping as MappingABC, Sequence
+from pathlib import Path
+
+from repro.analysis.experiments import RunRecord
+from repro.analysis.study import ComparisonRow, ImprovementRow
+from repro.core.iterative import IterativeResult
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "run_records_to_rows",
+    "improvement_rows_to_rows",
+    "comparison_rows_to_rows",
+    "iterative_result_to_dict",
+    "write_csv",
+    "write_json",
+]
+
+
+def run_records_to_rows(records: Iterable[RunRecord]) -> list[dict]:
+    """Flatten :class:`RunRecord` objects to one dict per run."""
+    rows = []
+    for r in records:
+        c = r.comparison
+        rows.append(
+            {
+                "heuristic": r.heuristic,
+                "heterogeneity": r.heterogeneity.value,
+                "consistency": r.consistency.value,
+                "instance": r.instance_index,
+                "tie_policy": r.tie_policy,
+                "num_iterations": r.num_iterations,
+                "original_makespan": c.original_makespan,
+                "final_makespan": c.final_makespan,
+                "makespan_increased": c.makespan_increased,
+                "mapping_changed": c.mapping_changed,
+                "machines_improved": c.num_improved,
+                "machines_worsened": c.num_worsened,
+                "mean_delta": c.mean_delta,
+            }
+        )
+    return rows
+
+
+def improvement_rows_to_rows(rows: Iterable[ImprovementRow]) -> list[dict]:
+    """Flatten improvement-study aggregates (E23)."""
+    return [
+        {
+            "heuristic": r.heuristic,
+            "tie_policy": r.tie_policy,
+            "runs": r.runs,
+            "mapping_change_rate": r.mapping_change_rate,
+            "makespan_increase_rate": r.makespan_increase_rate,
+            "machine_improved_rate": r.machine_improved_rate,
+            "machine_worsened_rate": r.machine_worsened_rate,
+            "mean_improvement": r.mean_improvement.mean,
+            "mean_improvement_ci_low": r.mean_improvement.ci_low,
+            "mean_improvement_ci_high": r.mean_improvement.ci_high,
+        }
+        for r in rows
+    ]
+
+
+def comparison_rows_to_rows(rows: Iterable[ComparisonRow]) -> list[dict]:
+    """Flatten cross-heuristic comparison aggregates (E24)."""
+    return [
+        {
+            "heuristic": r.heuristic,
+            "heterogeneity": r.heterogeneity.value,
+            "consistency": r.consistency.value,
+            "mean_makespan": r.mean_makespan,
+            "normalized": r.normalized,
+        }
+        for r in rows
+    ]
+
+
+def iterative_result_to_dict(result: IterativeResult) -> dict:
+    """Full JSON-serialisable dump of an iterative run.
+
+    Includes per-iteration machine sets, mappings and makespans — the
+    complete evidence needed to audit a run without re-executing it.
+    """
+    return {
+        "heuristic": result.heuristic_name,
+        "tasks": list(result.etc.tasks),
+        "machines": list(result.etc.machines),
+        "initial_ready_times": dict(result.initial_ready_times),
+        "final_finish_times": dict(result.final_finish_times),
+        "removal_order": list(result.removal_order),
+        "makespans": list(result.makespans()),
+        "makespan_increased": result.makespan_increased(),
+        "mapping_changed": result.mapping_changed(),
+        "iterations": [
+            {
+                "index": rec.index,
+                "machines": list(rec.etc.machines),
+                "tasks": list(rec.etc.tasks),
+                "makespan": rec.makespan,
+                "frozen_machine": rec.frozen_machine,
+                "frozen_tasks": list(rec.frozen_tasks),
+                "assignments": rec.mapping.to_dict(),
+                "finish_times": rec.finish_times(),
+            }
+            for rec in result.iterations
+        ],
+    }
+
+
+def write_csv(rows: Sequence[MappingABC], path: str | Path) -> None:
+    """Write dict rows as CSV (columns = union of keys, first-row order
+    first)."""
+    rows = list(rows)
+    if not rows:
+        raise ConfigurationError("no rows to write")
+    fieldnames = list(rows[0])
+    for row in rows[1:]:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_json(payload, path: str | Path, indent: int = 2) -> None:
+    """Write any JSON-serialisable payload."""
+    Path(path).write_text(json.dumps(payload, indent=indent), encoding="utf-8")

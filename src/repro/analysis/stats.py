@@ -1,0 +1,129 @@
+"""Small statistics toolkit for the experiment harness.
+
+Summary statistics with normal-approximation and bootstrap confidence
+intervals; no scipy dependency so the core library stays numpy-only.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Summary", "summarize", "bootstrap_ci", "proportion_ci"]
+
+#: z-value of the two-sided 95% normal interval.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample with a 95% CI on the mean."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.6g} ± {self.ci_high - self.mean:.3g} "
+            f"(std={self.std:.4g}, range [{self.minimum:.6g}, {self.maximum:.6g}])"
+        )
+
+
+def summarize(sample: Sequence[float] | np.ndarray) -> Summary:
+    """Mean/std/extremes with a normal-approximation 95% CI on the mean."""
+    arr = np.asarray(sample, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half = _Z95 * std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        ci_low=mean - half,
+        ci_high=mean + half,
+    )
+
+
+def bootstrap_ci(
+    sample: Sequence[float] | np.ndarray,
+    statistic=np.mean,
+    level: float = 0.95,
+    num_resamples: int = 2000,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI of ``statistic`` over ``sample``."""
+    arr = np.asarray(sample, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < level < 1.0:
+        raise ConfigurationError(f"level must be in (0, 1), got {level}")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    idx = gen.integers(0, arr.size, size=(num_resamples, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[idx])
+    alpha = (1.0 - level) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+def proportion_ci(successes: int, trials: int, level: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes ({successes}) must lie in [0, trials={trials}]"
+        )
+    if not 0.0 < level < 1.0:
+        raise ConfigurationError(f"level must be in (0, 1), got {level}")
+    z = _Z95 if abs(level - 0.95) < 1e-12 else _normal_quantile(1 - (1 - level) / 2)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * np.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def _normal_quantile(q: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < q < 1.0:
+        raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
+    # Coefficients of Peter Acklam's approximation (|eps| < 1.15e-9).
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low = 0.02425
+    if q < p_low:
+        u = np.sqrt(-2 * np.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1
+        )
+    if q > 1 - p_low:
+        u = np.sqrt(-2 * np.log(1 - q))
+        return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1
+        )
+    u = q - 0.5
+    r = u * u
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )

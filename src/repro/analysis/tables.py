@@ -1,0 +1,184 @@
+"""Paper-format table renderers.
+
+Each function regenerates the row layout of the corresponding tables in
+the paper (used by the bench harness and the examples):
+
+* :func:`render_etc_table` — ETC matrices (Tables 1, 4, 9, 12, 15);
+* :func:`render_allocation_table` — per-step completion-time rows of a
+  mapping (Tables 2, 3, 5–8);
+* :func:`render_swa_table` — BI / completion-times / heuristic rows
+  (Tables 10, 11);
+* :func:`render_kpb_table` — completion-times / K-percent subset rows
+  (Tables 13, 14);
+* :func:`render_sufferage_table` — per-pass minimum-CT / sufferage /
+  machine rows (Tables 16, 17);
+* :func:`render_finish_times` and :func:`render_comparison` — final
+  per-machine finishing-time summaries quoted in the examples' prose.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.iterative import IterativeResult
+from repro.core.metrics import IterativeComparison
+from repro.core.schedule import Mapping
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics.kpb import KPBStep
+from repro.heuristics.sufferage import SufferagePass
+from repro.heuristics.swa import SWAStep
+
+__all__ = [
+    "render_etc_table",
+    "render_allocation_table",
+    "render_swa_table",
+    "render_kpb_table",
+    "render_sufferage_table",
+    "render_finish_times",
+    "render_comparison",
+]
+
+
+def _fmt(value: float, width: int = 7) -> str:
+    return f"{value:>{width}.6g}"
+
+
+def render_etc_table(etc: ETCMatrix, title: str = "") -> str:
+    """ETC matrix in the paper's task-rows/machine-columns layout."""
+    body = etc.pretty()
+    return f"{title}\n{body}" if title else body
+
+
+def render_allocation_table(mapping: Mapping, title: str = "") -> str:
+    """Per-resource-allocation rows: after each assignment, the
+    completion time of every machine so far (Tables 2, 3, 5–8)."""
+    etc = mapping.etc
+    header = f"{'step':<6}{'task':<6}{'machine':<9}" + "".join(
+        f"{m + ' CT':>13}" for m in etc.machines
+    )
+    lines = [header, "-" * len(header)]
+    ready = dict(zip(etc.machines, mapping.initial_ready_times().tolist()))
+    for i, a in enumerate(mapping.assignments, start=1):
+        ready[a.machine] = a.completion
+        cells = "".join(f"{ready[m]:>13.6g}" for m in etc.machines)
+        lines.append(f"{i:<6}{a.task:<6}{a.machine:<9}{cells}")
+    out = "\n".join(lines)
+    return f"{title}\n{out}" if title else out
+
+
+def render_swa_table(
+    trace: tuple[SWAStep, ...], machines: tuple[str, ...], title: str = ""
+) -> str:
+    """SWA rows: BI, per-machine CTs after the step, heuristic used
+    (Tables 10, 11).  Undefined BI renders as ``x`` as in the paper."""
+    header = (
+        f"{'task':<6}{'BI':>8}  "
+        + "".join(f"{m + ' CT':>13}" for m in machines)
+        + f"{'heuristic':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    ready = dict.fromkeys(machines, 0.0)
+    for step in trace:
+        ready[step.machine] = step.completion
+        bi = "x" if math.isnan(step.bi) else f"{step.bi:.4g}"
+        cells = "".join(f"{ready[m]:>13.6g}" for m in machines)
+        lines.append(f"{step.task:<6}{bi:>8}  {cells}{step.heuristic.upper():>11}")
+    out = "\n".join(lines)
+    return f"{title}\n{out}" if title else out
+
+
+def render_kpb_table(
+    trace: tuple[KPBStep, ...], machines: tuple[str, ...], title: str = ""
+) -> str:
+    """K-percent Best rows: per-machine CTs and the subset considered
+    (Tables 13, 14)."""
+    header = (
+        f"{'task':<6}"
+        + "".join(f"{m + ' CT':>13}" for m in machines)
+        + f"  {'K-% subset'}"
+    )
+    lines = [header, "-" * len(header)]
+    ready = dict.fromkeys(machines, 0.0)
+    for step in trace:
+        ready[step.machine] = step.completion
+        cells = "".join(f"{ready[m]:>13.6g}" for m in machines)
+        subset = ", ".join(step.subset)
+        lines.append(f"{step.task:<6}{cells}  {{{subset}}}")
+    out = "\n".join(lines)
+    return f"{title}\n{out}" if title else out
+
+
+def render_sufferage_table(
+    trace: tuple[SufferagePass, ...], title: str = ""
+) -> str:
+    """Sufferage rows: per pass, each examined task's minimum CT,
+    sufferage value, machine and contest outcome (Tables 16, 17)."""
+    header = (
+        f"{'pass':<6}{'task':<6}{'min CT':>9}{'sufferage':>11}"
+        f"{'machine':>9}  outcome"
+    )
+    lines = [header, "-" * len(header)]
+    for p in trace:
+        for d in p.decisions:
+            extra = f" (displaces {d.displaced_task})" if d.outcome == "displaced" else ""
+            extra = (
+                f" (kept by {d.displaced_task})" if d.outcome == "rejected" else extra
+            )
+            lines.append(
+                f"{p.index + 1:<6}{d.task:<6}{d.earliest_ct:>9.6g}"
+                f"{d.sufferage:>11.6g}{d.machine:>9}  {d.outcome}{extra}"
+            )
+    out = "\n".join(lines)
+    return f"{title}\n{out}" if title else out
+
+
+def render_finish_times(mapping: Mapping, title: str = "") -> str:
+    """Per-machine finishing times with the makespan machine flagged."""
+    finish = mapping.machine_finish_times()
+    makespan_machine = mapping.makespan_machine()
+    lines = [f"{'machine':<9}{'finish':>10}"]
+    lines.append("-" * 19)
+    for m, t in finish.items():
+        flag = "  <- makespan" if m == makespan_machine else ""
+        lines.append(f"{m:<9}{t:>10.6g}{flag}")
+    out = "\n".join(lines)
+    return f"{title}\n{out}" if title else out
+
+
+def render_comparison(
+    comparison: IterativeComparison, title: str = ""
+) -> str:
+    """Original vs iterative finishing times for every machine."""
+    header = f"{'machine':<9}{'original':>12}{'iterative':>12}{'delta':>12}"
+    lines = [header, "-" * len(header)]
+    for m in comparison.machines:
+        delta = 0.0 if abs(m.delta) < 1e-9 else m.delta
+        lines.append(
+            f"{m.machine:<9}{m.original:>12.6g}{m.iterative:>12.6g}{delta:>12.6g}"
+        )
+    lines.append(
+        f"makespan: original {comparison.original_makespan:.6g}, "
+        f"final {comparison.final_makespan:.6g}"
+        + (" (INCREASED)" if comparison.makespan_increased else "")
+    )
+    out = "\n".join(lines)
+    return f"{title}\n{out}" if title else out
+
+
+def render_iteration_overview(result: IterativeResult) -> str:
+    """One-line-per-iteration overview of an iterative run."""
+    lines = [
+        f"{'iter':<6}{'machines':<10}{'tasks':<7}{'makespan':>10}"
+        f"{'frozen':>9}  frozen tasks"
+    ]
+    lines.append("-" * len(lines[0]))
+    for rec in result.iterations:
+        lines.append(
+            f"{rec.index:<6}{rec.etc.num_machines:<10}{rec.etc.num_tasks:<7}"
+            f"{rec.makespan:>10.6g}{rec.frozen_machine:>9}  "
+            f"{', '.join(rec.frozen_tasks) or '-'}"
+        )
+    return "\n".join(lines)
+
+
+__all__.append("render_iteration_overview")

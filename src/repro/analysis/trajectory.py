@@ -1,0 +1,113 @@
+"""Per-iteration metric trajectories and ASCII series rendering.
+
+The paper's figures visualise single mappings; for *runs* of the
+iterative technique the interesting object is the trajectory — how the
+makespan, the average finishing time and the remaining work evolve as
+machines are frozen.  This module extracts those series from an
+:class:`~repro.core.iterative.IterativeResult` and renders them as
+fixed-width charts (no plotting dependency).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.iterative import IterativeResult
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "IterationTrajectory",
+    "trajectory_of",
+    "sparkline",
+    "render_series",
+]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class IterationTrajectory:
+    """Per-iteration series of one iterative run."""
+
+    heuristic: str
+    makespans: tuple[float, ...]
+    average_finishes: tuple[float, ...]
+    machines_remaining: tuple[int, ...]
+    tasks_remaining: tuple[int, ...]
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.makespans)
+
+    def monotone(self, tol: float = 1e-9) -> bool:
+        """True when the makespan series never increases."""
+        return all(
+            b <= a + tol for a, b in zip(self.makespans, self.makespans[1:])
+        )
+
+
+def trajectory_of(result: IterativeResult) -> IterationTrajectory:
+    """Extract the metric series from an iterative run."""
+    return IterationTrajectory(
+        heuristic=result.heuristic_name,
+        makespans=result.makespans(),
+        average_finishes=tuple(
+            float(rec.mapping.finish_time_vector().mean())
+            for rec in result.iterations
+        ),
+        machines_remaining=tuple(
+            rec.etc.num_machines for rec in result.iterations
+        ),
+        tasks_remaining=tuple(rec.etc.num_tasks for rec in result.iterations),
+    )
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a series (min..max mapped to 8 levels)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot sparkline an empty series")
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-15:
+        return _SPARK_LEVELS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def render_series(
+    values: Sequence[float],
+    label: str = "",
+    width: int = 50,
+    height: int = 8,
+) -> str:
+    """Fixed-width dot chart of a series (one column per point,
+    linearly resampled to ``width`` when longer)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("cannot render an empty series")
+    if width < 2 or height < 2:
+        raise ConfigurationError("width and height must be >= 2")
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width)
+        arr = np.interp(idx, np.arange(arr.size), arr)
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    # each point lands in exactly one row: 0 (bottom) .. height-1 (top)
+    levels = np.minimum(((arr - lo) / span * height).astype(int), height - 1)
+    rows = []
+    for level in range(height - 1, -1, -1):
+        cells = ["*" if lv == level else " " for lv in levels]
+        if level == height - 1:
+            prefix = f"{hi:>10.4g} |"
+        elif level == 0:
+            prefix = f"{lo:>10.4g} |"
+        else:
+            prefix = " " * 10 + " |"
+        rows.append(prefix + "".join(cells).rstrip())
+    rows.append(" " * 11 + "+" + "-" * len(arr))
+    if label:
+        rows.insert(0, label)
+    return "\n".join(rows)

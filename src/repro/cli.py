@@ -1,0 +1,491 @@
+"""Command-line interface.
+
+Usage (after install)::
+
+    python -m repro generate --tasks 40 --machines 8 -o suite.csv
+    python -m repro map      --etc suite.csv --heuristic min-min --gantt
+    python -m repro iterate  --etc suite.csv --heuristic sufferage
+    python -m repro study    --tasks 30 --machines 8 --instances 20
+    python -m repro compare  --heuristics min-min,mct,met,olb
+    python -m repro simulate --tasks 100 --machines 8 --policy mct
+    python -m repro paper
+
+Every subcommand accepts ``--seed`` and is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.study import (
+    format_comparison_table,
+    format_improvement_table,
+    heuristic_comparison,
+    improvement_study,
+)
+from repro.analysis.tables import (
+    render_allocation_table,
+    render_comparison,
+    render_etc_table,
+    render_finish_times,
+    render_iteration_overview,
+)
+from repro.core.iterative import IterativeScheduler
+from repro.core.metrics import compare_iterative
+from repro.core.seeding import SeededIterativeScheduler
+from repro.core.ties import make_tie_breaker
+from repro.etc.generation import Consistency, Heterogeneity
+from repro.etc import generation, io as etc_io
+from repro.exceptions import ReproError
+from repro.heuristics import get_heuristic, heuristic_names
+
+__all__ = ["main", "build_parser"]
+
+
+def _heterogeneity(value: str) -> Heterogeneity:
+    try:
+        return Heterogeneity(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown heterogeneity {value!r}; choose from "
+            f"{[h.value for h in Heterogeneity]}"
+        ) from None
+
+
+def _consistency(value: str) -> Consistency:
+    try:
+        return Consistency(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown consistency {value!r}; choose from "
+            f"{[c.value for c in Consistency]}"
+        ) from None
+
+
+def _load_etc(path: str):
+    if path.endswith(".json"):
+        return etc_io.load_json(path)
+    return etc_io.load_csv(path)
+
+
+def _make_heuristic(name: str, seed: int):
+    kwargs = {}
+    if name in ("genitor", "random", "simulated-annealing", "tabu-search"):
+        kwargs["rng"] = seed
+    return get_heuristic(name, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.method == "range":
+        etc = generation.generate_range_based(
+            args.tasks, args.machines, args.heterogeneity, args.consistency,
+            rng=args.seed,
+        )
+    else:
+        etc = generation.generate_cvb(
+            args.tasks, args.machines, args.heterogeneity, args.consistency,
+            rng=args.seed,
+        )
+    if args.output:
+        if args.output.endswith(".json"):
+            etc_io.save_json(etc, args.output)
+        else:
+            etc_io.save_csv(etc, args.output)
+        print(f"wrote {etc.num_tasks}x{etc.num_machines} ETC matrix to {args.output}")
+    else:
+        print(etc_io.to_csv(etc), end="")
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    etc = _load_etc(args.etc)
+    heuristic = _make_heuristic(args.heuristic, args.seed)
+    breaker = make_tie_breaker(args.ties, rng=args.seed)
+    mapping = heuristic.map_tasks(etc, tie_breaker=breaker)
+    if args.show_etc:
+        print(render_etc_table(etc, "ETC matrix"))
+        print()
+    print(render_allocation_table(mapping, f"{args.heuristic} mapping"))
+    print()
+    print(render_finish_times(mapping))
+    if args.gantt:
+        print()
+        print(render_gantt(mapping))
+    return 0
+
+
+def cmd_iterate(args: argparse.Namespace) -> int:
+    etc = _load_etc(args.etc)
+    heuristic = _make_heuristic(args.heuristic, args.seed)
+    breaker = make_tie_breaker(args.ties, rng=args.seed)
+    scheduler_cls = SeededIterativeScheduler if args.seeded else IterativeScheduler
+    result = scheduler_cls(heuristic, tie_breaker=breaker).run(etc)
+    print(render_iteration_overview(result))
+    print()
+    print(render_comparison(compare_iterative(result),
+                            "original vs iterative finishing times"))
+    if args.chart and result.num_iterations > 1:
+        from repro.analysis.trajectory import render_series, trajectory_of
+
+        print()
+        print(render_series(
+            trajectory_of(result).makespans,
+            label="per-iteration makespan",
+            width=max(10, 2 * result.num_iterations),
+        ))
+    if result.makespan_increased():
+        print("\nWARNING: the iterative technique INCREASED the makespan "
+              "on this instance (see the paper, Sections 3.5-3.7).")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    rows = improvement_study(
+        heuristics=tuple(args.heuristics.split(",")),
+        num_tasks=args.tasks,
+        num_machines=args.machines,
+        instances=args.instances,
+        heterogeneity=args.heterogeneity,
+        consistency=args.consistency,
+        tie_policies=tuple(args.ties.split(",")),
+        seeded_iterations=args.seeded,
+        seed=args.seed,
+    )
+    print(format_improvement_table(rows))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = heuristic_comparison(
+        tuple(args.heuristics.split(",")),
+        num_tasks=args.tasks,
+        num_machines=args.machines,
+        instances=args.instances,
+        heterogeneities=(args.heterogeneity,),
+        consistencies=(args.consistency,),
+        seed=args.seed,
+    )
+    print(format_comparison_table(rows))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.hcsystem import (
+        DynamicHCSimulation,
+        KPBOnline,
+        MCTOnline,
+        METOnline,
+        OLBOnline,
+        SWAOnline,
+        poisson_workload,
+    )
+
+    etc = generation.generate_range_based(
+        args.tasks, args.machines, args.heterogeneity, args.consistency,
+        rng=args.seed,
+    )
+    workload = poisson_workload(etc, rate=args.rate, rng=args.seed + 1)
+    policies = {
+        "mct": lambda: DynamicHCSimulation(workload, policy=MCTOnline()),
+        "met": lambda: DynamicHCSimulation(workload, policy=METOnline()),
+        "olb": lambda: DynamicHCSimulation(workload, policy=OLBOnline()),
+        "kpb": lambda: DynamicHCSimulation(
+            workload, policy=KPBOnline(percent=args.kpb_percent)
+        ),
+        "swa": lambda: DynamicHCSimulation(workload, policy=SWAOnline()),
+        "batch-min-min": lambda: DynamicHCSimulation(
+            workload,
+            batch_heuristic=get_heuristic("min-min"),
+            batch_interval=args.batch_interval,
+        ),
+        "batch-sufferage": lambda: DynamicHCSimulation(
+            workload,
+            batch_heuristic=get_heuristic("sufferage"),
+            batch_interval=args.batch_interval,
+        ),
+    }
+    if args.policy not in policies:
+        print(f"unknown policy {args.policy!r}; choose from {sorted(policies)}",
+              file=sys.stderr)
+        return 2
+    trace = policies[args.policy]().run()
+    print(f"policy          : {args.policy}")
+    print(f"tasks executed  : {len(trace)}")
+    print(f"makespan        : {trace.makespan():.6g}")
+    print(f"mean queue wait : {trace.mean_queue_wait():.6g}")
+    for machine in etc.machines:
+        print(f"  {machine:<6} utilisation {100 * trace.utilisation(machine):5.1f}%  "
+              f"busy {trace.machine_busy_time(machine):.6g}")
+    return 0
+
+
+def cmd_witness(args: argparse.Namespace) -> int:
+    """Search for a makespan-increase counterexample."""
+    from repro.analysis.counterexamples import find_makespan_increase
+    from repro.core.ties import RandomTieBreaker
+
+    import numpy as np
+
+    tie_factory = None
+    if args.ties == "random":
+        shared_rng = np.random.default_rng(args.seed + 1)
+        tie_factory = lambda: RandomTieBreaker(shared_rng)  # noqa: E731
+    witness = find_makespan_increase(
+        _make_heuristic(args.heuristic, args.seed),
+        num_tasks=args.tasks,
+        num_machines=args.machines,
+        trials=args.trials,
+        tie_breaker_factory=tie_factory,
+        value_grid=(
+            [float(x) for x in args.grid.split(",")] if args.grid else None
+        ),
+        rng=args.seed,
+    )
+    if witness is None:
+        print(f"no makespan-increase witness found in {args.trials} trials "
+              f"for {args.heuristic} ({args.ties} ties)")
+        return 3
+    print(witness.describe())
+    print()
+    print(witness.etc.pretty())
+    print(f"\nmakespans per iteration: {witness.result.makespans()}")
+    if args.output:
+        if args.output.endswith(".json"):
+            etc_io.save_json(witness.etc, args.output)
+        else:
+            etc_io.save_csv(witness.etc, args.output)
+        print(f"witness ETC matrix written to {args.output}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Run an experiment grid and write per-run records to CSV/JSON."""
+    from repro.analysis.experiments import ExperimentConfig
+    from repro.analysis.export import run_records_to_rows, write_csv, write_json
+    from repro.analysis.parallel import run_experiment_parallel
+
+    config = ExperimentConfig(
+        heuristics=tuple(args.heuristics.split(",")),
+        num_tasks=args.tasks,
+        num_machines=args.machines,
+        heterogeneities=(args.heterogeneity,),
+        consistencies=(args.consistency,),
+        instances_per_cell=args.instances,
+        tie_policy=args.ties,
+        seeded_iterations=args.seeded,
+        seed=args.seed,
+    )
+    records = run_experiment_parallel(config, max_workers=args.workers)
+    rows = run_records_to_rows(records)
+    if args.output.endswith(".json"):
+        write_json(rows, args.output)
+    else:
+        write_csv(rows, args.output)
+    print(f"wrote {len(rows)} run records to {args.output}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Generate the full reproduction report (Markdown)."""
+    from repro.analysis.report import build_report
+
+    text = build_report(quick=args.quick, seed=args.seed)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    """Replay the paper's five worked examples (compact form)."""
+    from repro.etc.witness import (
+        KPB_EXAMPLE_PERCENT,
+        SWA_EXAMPLE_HIGH_THRESHOLD,
+        SWA_EXAMPLE_LOW_THRESHOLD,
+        kpb_example_etc,
+        mct_met_example_etc,
+        minmin_example_etc,
+        sufferage_example_etc,
+        swa_example_etc,
+    )
+    from repro.heuristics import KPercentBest, Sufferage, SwitchingAlgorithm
+
+    runs = [
+        ("Min-Min (Tables 1-3)", get_heuristic("min-min"), minmin_example_etc()),
+        ("MCT (Tables 4-6)", get_heuristic("mct"), mct_met_example_etc()),
+        ("MET (Tables 7-8)", get_heuristic("met"), mct_met_example_etc()),
+        (
+            "SWA (Tables 9-11)",
+            SwitchingAlgorithm(
+                low=SWA_EXAMPLE_LOW_THRESHOLD, high=SWA_EXAMPLE_HIGH_THRESHOLD
+            ),
+            swa_example_etc(),
+        ),
+        (
+            "K-percent Best (Tables 12-14)",
+            KPercentBest(percent=KPB_EXAMPLE_PERCENT),
+            kpb_example_etc(),
+        ),
+        ("Sufferage (Tables 15-17)", Sufferage(), sufferage_example_etc()),
+    ]
+    for label, heuristic, etc in runs:
+        result = IterativeScheduler(heuristic).run(etc)
+        spans = " -> ".join(f"{s:g}" for s in result.makespans())
+        verdict = (
+            "MAKESPAN INCREASED" if result.makespan_increased() else
+            ("mapping unchanged" if not result.mapping_changed() else "re-mapped")
+        )
+        print(f"{label:<32} makespans {spans:<22} [{verdict}]")
+    print("\n(For the full tables and Gantt charts run "
+          "`python examples/paper_walkthrough.py`.)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Iterative non-makespan minimisation (IPPS/HCW 2007) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, etc_classes=True):
+        p.add_argument("--seed", type=int, default=0, help="master RNG seed")
+        if etc_classes:
+            p.add_argument("--heterogeneity", type=_heterogeneity,
+                           default=Heterogeneity.HIHI,
+                           help="hihi | hilo | lohi | lolo")
+            p.add_argument("--consistency", type=_consistency,
+                           default=Consistency.INCONSISTENT,
+                           help="consistent | semi-consistent | inconsistent")
+
+    g = sub.add_parser("generate", help="generate a synthetic ETC matrix")
+    g.add_argument("--tasks", type=int, required=True)
+    g.add_argument("--machines", type=int, required=True)
+    g.add_argument("--method", choices=["range", "cvb"], default="range")
+    g.add_argument("-o", "--output", help="CSV/JSON path (stdout if omitted)")
+    add_common(g)
+    g.set_defaults(func=cmd_generate)
+
+    m = sub.add_parser("map", help="map an ETC file with one heuristic")
+    m.add_argument("--etc", required=True, help="CSV/JSON ETC file")
+    m.add_argument("--heuristic", choices=heuristic_names(), default="min-min")
+    m.add_argument("--ties", choices=["deterministic", "random"],
+                   default="deterministic")
+    m.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    m.add_argument("--show-etc", action="store_true")
+    add_common(m, etc_classes=False)
+    m.set_defaults(func=cmd_map)
+
+    i = sub.add_parser("iterate", help="run the paper's iterative technique")
+    i.add_argument("--etc", required=True)
+    i.add_argument("--heuristic", choices=heuristic_names(), default="min-min")
+    i.add_argument("--ties", choices=["deterministic", "random"],
+                   default="deterministic")
+    i.add_argument("--seeded", action="store_true",
+                   help="use the Section-5 seeding extension (never worse)")
+    i.add_argument("--chart", action="store_true",
+                   help="render the per-iteration makespan trajectory")
+    add_common(i, etc_classes=False)
+    i.set_defaults(func=cmd_iterate)
+
+    s = sub.add_parser("study", help="iterative improvement study (E23)")
+    s.add_argument("--heuristics",
+                   default="min-min,mct,met,sufferage,k-percent-best,"
+                           "switching-algorithm")
+    s.add_argument("--tasks", type=int, default=30)
+    s.add_argument("--machines", type=int, default=8)
+    s.add_argument("--instances", type=int, default=20)
+    s.add_argument("--ties", default="deterministic",
+                   help="comma list: deterministic,random")
+    s.add_argument("--seeded", action="store_true")
+    add_common(s)
+    s.set_defaults(func=cmd_study)
+
+    c = sub.add_parser("compare", help="cross-heuristic makespan comparison (E24)")
+    c.add_argument("--heuristics", default="min-min,mct,met,olb")
+    c.add_argument("--tasks", type=int, default=40)
+    c.add_argument("--machines", type=int, default=8)
+    c.add_argument("--instances", type=int, default=10)
+    add_common(c)
+    c.set_defaults(func=cmd_compare)
+
+    d = sub.add_parser("simulate", help="dynamic (arrival-driven) simulation")
+    d.add_argument("--tasks", type=int, default=100)
+    d.add_argument("--machines", type=int, default=8)
+    d.add_argument("--rate", type=float, default=1e-4,
+                   help="Poisson arrival rate (tasks per time unit)")
+    d.add_argument("--policy", default="mct",
+                   help="mct | met | olb | kpb | swa | batch-min-min | "
+                        "batch-sufferage")
+    d.add_argument("--kpb-percent", type=float, default=50.0)
+    d.add_argument("--batch-interval", type=float, default=1000.0)
+    add_common(d)
+    d.set_defaults(func=cmd_simulate)
+
+    w = sub.add_parser("witness", help="search for a makespan-increase witness")
+    w.add_argument("--heuristic", choices=heuristic_names(), default="sufferage")
+    w.add_argument("--tasks", type=int, default=8)
+    w.add_argument("--machines", type=int, default=3)
+    w.add_argument("--trials", type=int, default=5000)
+    w.add_argument("--ties", choices=["deterministic", "random"],
+                   default="deterministic")
+    w.add_argument("--grid", help="comma-separated ETC value grid "
+                                  "(default: half-integers 0.5..10)")
+    w.add_argument("-o", "--output", help="write the witness ETC to CSV/JSON")
+    add_common(w, etc_classes=False)
+    w.set_defaults(func=cmd_witness)
+
+    e = sub.add_parser("export", help="run a grid and export run records")
+    e.add_argument("--heuristics", default="min-min,mct,met,sufferage")
+    e.add_argument("--tasks", type=int, default=30)
+    e.add_argument("--machines", type=int, default=8)
+    e.add_argument("--instances", type=int, default=20)
+    e.add_argument("--ties", choices=["deterministic", "random"],
+                   default="deterministic")
+    e.add_argument("--seeded", action="store_true")
+    e.add_argument("--workers", type=int, default=None,
+                   help="process count for the parallel runner")
+    e.add_argument("-o", "--output", required=True, help="CSV/JSON path")
+    add_common(e)
+    e.set_defaults(func=cmd_export)
+
+    r = sub.add_parser("report", help="generate the full reproduction report")
+    r.add_argument("--quick", action="store_true", help="small ensembles")
+    r.add_argument("-o", "--output", help="Markdown path (stdout if omitted)")
+    add_common(r, etc_classes=False)
+    r.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("paper", help="replay the paper's worked examples")
+    p.set_defaults(func=cmd_paper)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Scheduling core: mappings, tie-breaking, the iterative technique."""
+
+from repro.core.freezing import (
+    FREEZE_POLICIES,
+    FreezePolicy,
+    earliest_finish_policy,
+    makespan_machine_policy,
+    most_loaded_policy,
+)
+from repro.core.iterative import IterationRecord, IterativeResult, IterativeScheduler
+from repro.core.metrics import (
+    IterativeComparison,
+    MachineComparison,
+    average_finish_time,
+    compare_iterative,
+    finish_time_vector,
+    makespan,
+    total_finish_time,
+)
+from repro.core.schedule import (
+    Assignment,
+    Mapping,
+    finish_times_for_vector,
+    ready_time_vector,
+)
+from repro.core.seeding import SeededIterativeScheduler, replay_mapping
+from repro.core.ties import (
+    DeterministicTieBreaker,
+    RandomTieBreaker,
+    ScriptedTieBreaker,
+    TieBreaker,
+    make_tie_breaker,
+    tied_argmax,
+    tied_argmin,
+    tied_indices,
+)
+from repro.core.validation import validate_iterative_result, validate_mapping
+
+__all__ = [
+    "Assignment",
+    "Mapping",
+    "ready_time_vector",
+    "finish_times_for_vector",
+    "TieBreaker",
+    "DeterministicTieBreaker",
+    "RandomTieBreaker",
+    "ScriptedTieBreaker",
+    "make_tie_breaker",
+    "tied_indices",
+    "tied_argmin",
+    "tied_argmax",
+    "IterativeScheduler",
+    "IterationRecord",
+    "IterativeResult",
+    "FreezePolicy",
+    "FREEZE_POLICIES",
+    "makespan_machine_policy",
+    "earliest_finish_policy",
+    "most_loaded_policy",
+    "SeededIterativeScheduler",
+    "replay_mapping",
+    "makespan",
+    "average_finish_time",
+    "total_finish_time",
+    "finish_time_vector",
+    "MachineComparison",
+    "IterativeComparison",
+    "compare_iterative",
+    "validate_mapping",
+    "validate_iterative_result",
+]

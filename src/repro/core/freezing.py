@@ -1,0 +1,66 @@
+"""Freeze policies — which machine the iterative technique locks in.
+
+The paper always freezes the *makespan machine* (Section 2).  Because
+it also notes that "there are different ways to capture the concept of
+minimizing the finishing times of a set of heterogeneous machines"
+(average finishing time, largest finishing time, ...), this module
+makes the freezing decision pluggable so those design alternatives can
+be evaluated as ablations (see ``benchmarks/test_bench_ablations`` and
+``test_bench_freeze_policies``):
+
+* :func:`makespan_machine_policy` — the paper's rule (default);
+* :func:`earliest_finish_policy` — the dual: lock in the *best*
+  machine each round, keeping the heavy machines in play for
+  re-balancing;
+* :func:`most_loaded_policy` — freeze the machine with the most
+  *assigned work* (finish minus initial ready); identical to the
+  makespan rule at zero ready times, different otherwise.
+
+A freeze policy is any callable ``(mapping, tie_breaker) -> machine
+label``; ties inside a policy go through the supplied tie breaker so
+deterministic runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.schedule import Mapping
+from repro.core.ties import TieBreaker, tied_argmax, tied_argmin
+
+__all__ = [
+    "FreezePolicy",
+    "makespan_machine_policy",
+    "earliest_finish_policy",
+    "most_loaded_policy",
+    "FREEZE_POLICIES",
+]
+
+FreezePolicy = Callable[[Mapping, TieBreaker], str]
+
+
+def makespan_machine_policy(mapping: Mapping, tie_breaker: TieBreaker) -> str:
+    """The paper's rule: freeze the machine with the largest finish."""
+    return mapping.makespan_machine(tie_breaker)
+
+
+def earliest_finish_policy(mapping: Mapping, tie_breaker: TieBreaker) -> str:
+    """Freeze the machine with the *smallest* finishing time."""
+    finish = mapping.finish_time_vector()
+    idx = tie_breaker.choose(tied_argmin(finish))
+    return mapping.machines[idx]
+
+
+def most_loaded_policy(mapping: Mapping, tie_breaker: TieBreaker) -> str:
+    """Freeze the machine carrying the most assigned work."""
+    load = mapping.finish_time_vector() - mapping.initial_ready_times()
+    idx = tie_breaker.choose(tied_argmax(load))
+    return mapping.machines[idx]
+
+
+#: Named registry for CLI/bench parameterisation.
+FREEZE_POLICIES: dict[str, FreezePolicy] = {
+    "makespan": makespan_machine_policy,
+    "earliest-finish": earliest_finish_policy,
+    "most-loaded": most_loaded_policy,
+}

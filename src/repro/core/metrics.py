@@ -1,0 +1,133 @@
+"""Metrics over mappings and iterative results (paper Sections 1–2).
+
+The paper names several ways to "capture the concept of minimising the
+finishing times of a set of heterogeneous machines": the makespan, the
+average finishing time, and the full per-machine finishing-time vector.
+All are provided here, together with comparison helpers used by the
+statistical study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.iterative import IterativeResult
+from repro.core.schedule import Mapping
+
+__all__ = [
+    "makespan",
+    "average_finish_time",
+    "total_finish_time",
+    "finish_time_vector",
+    "MachineComparison",
+    "IterativeComparison",
+    "compare_iterative",
+]
+
+
+def makespan(mapping: Mapping) -> float:
+    """Largest machine finishing time of a mapping."""
+    return mapping.makespan()
+
+
+def average_finish_time(mapping: Mapping) -> float:
+    """Mean machine finishing time — one of the paper's alternative
+    objectives for the non-makespan machines."""
+    return float(mapping.finish_time_vector().mean())
+
+
+def total_finish_time(mapping: Mapping) -> float:
+    """Sum of machine finishing times."""
+    return float(mapping.finish_time_vector().sum())
+
+
+def finish_time_vector(mapping: Mapping) -> np.ndarray:
+    """Finishing times in machine order (copy)."""
+    return mapping.finish_time_vector()
+
+
+@dataclass(frozen=True)
+class MachineComparison:
+    """Original vs iterative finishing time of one machine."""
+
+    machine: str
+    original: float
+    iterative: float
+
+    @property
+    def delta(self) -> float:
+        """original − iterative; positive = the machine finishes earlier."""
+        return self.original - self.iterative
+
+    @property
+    def improved(self) -> bool:
+        return self.delta > 1e-9
+
+    @property
+    def worsened(self) -> bool:
+        return self.delta < -1e-9
+
+
+@dataclass(frozen=True)
+class IterativeComparison:
+    """Aggregate original-vs-iterative comparison for one run.
+
+    ``machines`` covers every machine of the instance; the makespan
+    machine of the original mapping always has ``delta == 0`` (it is
+    frozen with its original completion time).
+    """
+
+    heuristic: str
+    machines: tuple[MachineComparison, ...]
+    original_makespan: float
+    final_makespan: float
+    makespan_increased: bool
+    mapping_changed: bool
+
+    @property
+    def num_improved(self) -> int:
+        return sum(1 for m in self.machines if m.improved)
+
+    @property
+    def num_worsened(self) -> int:
+        return sum(1 for m in self.machines if m.worsened)
+
+    @property
+    def num_unchanged(self) -> int:
+        return len(self.machines) - self.num_improved - self.num_worsened
+
+    @property
+    def mean_delta(self) -> float:
+        """Mean finishing-time improvement across machines."""
+        return float(np.mean([m.delta for m in self.machines]))
+
+    @property
+    def average_finish_original(self) -> float:
+        return float(np.mean([m.original for m in self.machines]))
+
+    @property
+    def average_finish_iterative(self) -> float:
+        return float(np.mean([m.iterative for m in self.machines]))
+
+
+def compare_iterative(result: IterativeResult) -> IterativeComparison:
+    """Summarise an :class:`IterativeResult` against its original mapping."""
+    original = result.original_finish_times()
+    machines = tuple(
+        MachineComparison(
+            machine=m,
+            original=original[m],
+            iterative=result.final_finish_times[m],
+        )
+        for m in result.etc.machines
+    )
+    return IterativeComparison(
+        heuristic=result.heuristic_name,
+        machines=machines,
+        original_makespan=result.original.makespan,
+        final_makespan=max(result.final_finish_times.values()),
+        makespan_increased=result.makespan_increased(),
+        mapping_changed=result.mapping_changed(),
+    )

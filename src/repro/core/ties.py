@@ -1,0 +1,218 @@
+"""Tie-breaking policies.
+
+Whether the iterative approach changes a mapping "often depends on how
+ties are broken within a heuristic" (paper Section 2).  The paper studies
+two families, both implemented here:
+
+* **deterministic** — e.g. always the lowest-index (oldest) candidate,
+  so re-running a heuristic on identical state reproduces the decision;
+* **random** — each tied candidate is equally likely; decisions are
+  drawn from a seeded :class:`numpy.random.Generator` so experiments
+  stay reproducible.
+
+Ties between floating-point completion times are detected with a
+combined relative/absolute tolerance, matching the exact-decimal
+arithmetic of the paper's examples while staying robust on generated
+instances.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "DEFAULT_REL_TOL",
+    "DEFAULT_ABS_TOL",
+    "tied_indices",
+    "tied_argmin",
+    "tied_argmax",
+    "TieBreaker",
+    "DeterministicTieBreaker",
+    "RandomTieBreaker",
+    "make_tie_breaker",
+]
+
+#: Default relative tolerance for declaring two times tied.
+DEFAULT_REL_TOL = 1e-9
+#: Default absolute tolerance for declaring two times tied.
+DEFAULT_ABS_TOL = 1e-12
+
+
+def tied_indices(
+    values: np.ndarray | Sequence[float],
+    target: float,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> np.ndarray:
+    """Indices of ``values`` tied with ``target`` under the tolerance."""
+    arr = np.asarray(values, dtype=np.float64)
+    tol = np.maximum(abs_tol, rel_tol * np.maximum(np.abs(arr), abs(target)))
+    return np.flatnonzero(np.abs(arr - target) <= tol)
+
+
+def tied_argmin(
+    values: np.ndarray | Sequence[float],
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> np.ndarray:
+    """All indices attaining (within tolerance) the minimum of ``values``."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("tied_argmin of empty array")
+    return tied_indices(arr, float(arr.min()), rel_tol, abs_tol)
+
+
+def tied_argmax(
+    values: np.ndarray | Sequence[float],
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> np.ndarray:
+    """All indices attaining (within tolerance) the maximum of ``values``."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("tied_argmax of empty array")
+    return tied_indices(arr, float(arr.max()), rel_tol, abs_tol)
+
+
+class TieBreaker(abc.ABC):
+    """Strategy object selecting one index from a tied candidate set."""
+
+    #: True when the policy always returns the same choice for the same
+    #: candidate set — the property the paper's invariance theorems need.
+    deterministic: bool = True
+
+    @abc.abstractmethod
+    def choose(self, candidates: np.ndarray | Sequence[int]) -> int:
+        """Select one element from a non-empty candidate index set."""
+
+    def argmin(
+        self,
+        values: np.ndarray | Sequence[float],
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> int:
+        """Index of the minimum of ``values``, ties resolved by policy."""
+        return self.choose(tied_argmin(values, rel_tol, abs_tol))
+
+    def argmax(
+        self,
+        values: np.ndarray | Sequence[float],
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> int:
+        """Index of the maximum of ``values``, ties resolved by policy."""
+        return self.choose(tied_argmax(values, rel_tol, abs_tol))
+
+
+class DeterministicTieBreaker(TieBreaker):
+    """Always pick the lowest-index candidate ("the oldest is chosen").
+
+    This is the paper's deterministic policy: with a fixed task list and
+    fixed machine ordering, the lowest index is the oldest task / the
+    machine with the lowest reference number.
+    """
+
+    deterministic = True
+
+    def choose(self, candidates: np.ndarray | Sequence[int]) -> int:
+        arr = np.asarray(candidates)
+        if arr.size == 0:
+            raise ConfigurationError("cannot break a tie among zero candidates")
+        return int(arr.min())
+
+    def __repr__(self) -> str:
+        return "DeterministicTieBreaker()"
+
+
+class RandomTieBreaker(TieBreaker):
+    """Pick uniformly at random among tied candidates (seeded).
+
+    With two tied machines "each will have a 0.5 probability of being
+    chosen" (paper Section 2).
+    """
+
+    deterministic = False
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def choose(self, candidates: np.ndarray | Sequence[int]) -> int:
+        arr = np.asarray(candidates)
+        if arr.size == 0:
+            raise ConfigurationError("cannot break a tie among zero candidates")
+        if arr.size == 1:
+            return int(arr[0])
+        return int(self._rng.choice(arr))
+
+    def __repr__(self) -> str:
+        return "RandomTieBreaker()"
+
+
+class ScriptedTieBreaker(TieBreaker):
+    """Replay a fixed script of choices (testing/paper-example helper).
+
+    Each time a *genuine* tie (two or more candidates) is met, the next
+    scripted value is consumed; it may be an absolute index (must be
+    among the candidates) and is validated loudly.  Singleton candidate
+    sets do not consume script entries.  Once the script is exhausted,
+    the lowest index is used.
+    """
+
+    deterministic = True
+
+    def __init__(self, choices: Sequence[int]) -> None:
+        self._choices = list(choices)
+        self._cursor = 0
+
+    def choose(self, candidates: np.ndarray | Sequence[int]) -> int:
+        arr = np.asarray(candidates)
+        if arr.size == 0:
+            raise ConfigurationError("cannot break a tie among zero candidates")
+        if arr.size == 1:
+            return int(arr[0])
+        if self._cursor < len(self._choices):
+            pick = self._choices[self._cursor]
+            self._cursor += 1
+            if pick not in arr:
+                raise ConfigurationError(
+                    f"scripted choice {pick} not among tied candidates {arr.tolist()}"
+                )
+            return int(pick)
+        return int(arr.min())
+
+    @property
+    def consumed(self) -> int:
+        """How many scripted choices have been used so far."""
+        return self._cursor
+
+    def __repr__(self) -> str:
+        return f"ScriptedTieBreaker(choices={self._choices!r}, consumed={self._cursor})"
+
+
+__all__.append("ScriptedTieBreaker")
+
+
+def make_tie_breaker(
+    spec: str | TieBreaker,
+    rng: np.random.Generator | int | None = None,
+) -> TieBreaker:
+    """Build a tie breaker from a spec string (``"deterministic"`` /
+    ``"random"``) or pass an existing instance through."""
+    if isinstance(spec, TieBreaker):
+        return spec
+    if spec == "deterministic":
+        return DeterministicTieBreaker()
+    if spec == "random":
+        return RandomTieBreaker(rng)
+    raise ConfigurationError(f"unknown tie breaker spec {spec!r}")

@@ -1,0 +1,116 @@
+"""Structural validation of mappings and iterative results.
+
+Beyond the cheap invariants :class:`~repro.core.schedule.Mapping`
+enforces during construction, these checks *recompute* everything from
+the raw ETC matrix and fail loudly on any inconsistency — the tests and
+the property-based suites run every heuristic's output through them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.iterative import IterativeResult
+from repro.core.schedule import Mapping
+from repro.exceptions import MappingError
+
+__all__ = ["validate_mapping", "validate_iterative_result"]
+
+_TOL = 1e-9
+
+
+def validate_mapping(mapping: Mapping) -> None:
+    """Recompute the full schedule and check every Mapping invariant.
+
+    Raises :class:`MappingError` when: a task is missing or duplicated,
+    an assignment's start time does not equal the machine's ready time
+    at that point, a completion time violates Eq. (1), or the stored
+    finishing times disagree with the recomputation.
+    """
+    etc = mapping.etc
+    seen: set[str] = set()
+    ready = {m: t for m, t in zip(etc.machines, mapping.initial_ready_times())}
+    for a in mapping.assignments:
+        if a.task in seen:
+            raise MappingError(f"task {a.task!r} assigned more than once")
+        seen.add(a.task)
+        if not etc.has_task(a.task):
+            raise MappingError(f"assignment references unknown task {a.task!r}")
+        if not etc.has_machine(a.machine):
+            raise MappingError(f"assignment references unknown machine {a.machine!r}")
+        if not math.isclose(a.start, ready[a.machine], rel_tol=_TOL, abs_tol=_TOL):
+            raise MappingError(
+                f"task {a.task!r} starts at {a.start}, but machine "
+                f"{a.machine!r} is ready at {ready[a.machine]}"
+            )
+        expected = a.start + etc.etc(a.task, a.machine)
+        if not math.isclose(a.completion, expected, rel_tol=_TOL, abs_tol=_TOL):
+            raise MappingError(
+                f"task {a.task!r} completion {a.completion} != Eq.(1) value {expected}"
+            )
+        ready[a.machine] = a.completion
+    if mapping.is_complete() and seen != set(etc.tasks):
+        raise MappingError("complete mapping does not cover the task set")
+    finish = mapping.machine_finish_times()
+    for m in etc.machines:
+        if not math.isclose(finish[m], ready[m], rel_tol=_TOL, abs_tol=_TOL):
+            raise MappingError(
+                f"machine {m!r} finish time {finish[m]} != recomputed {ready[m]}"
+            )
+
+
+def validate_iterative_result(result: IterativeResult) -> None:
+    """Check the cross-iteration invariants of an iterative run.
+
+    * each iteration's mapping validates on its own;
+    * each iteration's machine set is the previous one minus the frozen
+      machine, and its task set is the previous one minus the frozen
+      tasks;
+    * every machine of the instance has exactly one final finishing
+      time, equal to its finishing time in the iteration that froze it;
+    * the removal order is consistent with the iteration records.
+    """
+    etc = result.etc
+    if set(result.final_finish_times) != set(etc.machines):
+        raise MappingError("final finishing times do not cover the machine set")
+
+    previous = None
+    for rec in result.iterations:
+        validate_mapping(rec.mapping)
+        if not rec.mapping.is_complete():
+            raise MappingError(f"iteration {rec.index} left tasks unmapped")
+        if previous is not None:
+            expected_machines = tuple(
+                m for m in previous.etc.machines if m != previous.frozen_machine
+            )
+            if rec.etc.machines != expected_machines:
+                raise MappingError(
+                    f"iteration {rec.index} machine set {rec.etc.machines} != "
+                    f"expected {expected_machines}"
+                )
+            expected_tasks = tuple(
+                t for t in previous.etc.tasks if t not in set(previous.frozen_tasks)
+            )
+            if rec.etc.tasks != expected_tasks:
+                raise MappingError(
+                    f"iteration {rec.index} task set mismatch: {rec.etc.tasks} != "
+                    f"{expected_tasks}"
+                )
+            if not math.isclose(rec.makespan, rec.mapping.makespan(), rel_tol=_TOL):
+                raise MappingError(f"iteration {rec.index} stored stale makespan")
+        frozen_finish = rec.mapping.ready_time(rec.frozen_machine)
+        stored = result.final_finish_times[rec.frozen_machine]
+        if not math.isclose(stored, frozen_finish, rel_tol=_TOL, abs_tol=_TOL):
+            raise MappingError(
+                f"frozen machine {rec.frozen_machine!r} final finish {stored} != "
+                f"its iteration finish {frozen_finish}"
+            )
+        previous = rec
+
+    for machine, rec_machine in zip(result.removal_order, result.iterations):
+        if rec_machine.frozen_machine != machine:
+            # Removal order may extend past the records when the task
+            # pool empties; the prefix must match the records exactly.
+            raise MappingError(
+                f"removal order {result.removal_order} disagrees with records"
+            )

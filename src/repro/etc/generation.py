@@ -1,0 +1,252 @@
+"""Synthetic ETC matrix generation.
+
+The paper's research group generated ETC matrices with two standard
+methods, both reimplemented here:
+
+* the **range-based method** of Braun et al. (JPDC 2001) — a baseline
+  row value per task scaled by a per-entry machine factor, with the
+  classic four heterogeneity classes (hihi / hilo / lohi / lolo);
+* the **CVB (coefficient-of-variation-based) method** of Ali et al. —
+  gamma-distributed values whose task/machine coefficients of variation
+  are controlled directly.
+
+Both support the three **consistency classes**: *consistent* (machine
+speed ordering identical for every task), *inconsistent* (no structure),
+and *semi-consistent* (a consistent sub-matrix embedded in an
+inconsistent one — conventionally the even-indexed machine columns).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Consistency",
+    "Heterogeneity",
+    "RangeBasedParams",
+    "CVBParams",
+    "generate_range_based",
+    "generate_cvb",
+    "apply_consistency",
+    "HETEROGENEITY_RANGES",
+    "HETEROGENEITY_CVB",
+    "generate_ensemble",
+]
+
+
+class Consistency(enum.Enum):
+    """ETC consistency class (Braun et al. Section 3.1)."""
+
+    CONSISTENT = "consistent"
+    SEMI_CONSISTENT = "semi-consistent"
+    INCONSISTENT = "inconsistent"
+
+
+class Heterogeneity(enum.Enum):
+    """Task/machine heterogeneity class.
+
+    The first word is task heterogeneity, the second machine
+    heterogeneity; e.g. ``HILO`` = high task, low machine heterogeneity.
+    """
+
+    HIHI = "hihi"
+    HILO = "hilo"
+    LOHI = "lohi"
+    LOLO = "lolo"
+
+
+@dataclass(frozen=True)
+class RangeBasedParams:
+    """Parameters of the range-based method.
+
+    ``task_range`` bounds the per-task baseline ``tau ~ U(1, task_range)``
+    and ``machine_range`` bounds the per-entry factor
+    ``U(1, machine_range)``; ``etc[i, j] = tau_i * U(1, machine_range)``.
+    """
+
+    task_range: float
+    machine_range: float
+
+    def __post_init__(self) -> None:
+        if self.task_range <= 1.0 or self.machine_range <= 1.0:
+            raise ConfigurationError(
+                "range-based parameters must exceed 1 "
+                f"(got task_range={self.task_range}, machine_range={self.machine_range})"
+            )
+
+
+#: Classic range-based parameters per heterogeneity class (Braun et al.).
+HETEROGENEITY_RANGES: dict[Heterogeneity, RangeBasedParams] = {
+    Heterogeneity.HIHI: RangeBasedParams(task_range=3000.0, machine_range=1000.0),
+    Heterogeneity.HILO: RangeBasedParams(task_range=3000.0, machine_range=10.0),
+    Heterogeneity.LOHI: RangeBasedParams(task_range=100.0, machine_range=1000.0),
+    Heterogeneity.LOLO: RangeBasedParams(task_range=100.0, machine_range=10.0),
+}
+
+
+@dataclass(frozen=True)
+class CVBParams:
+    """Parameters of the CVB method (Ali et al.).
+
+    ``mean_task`` is the mean task execution time; ``v_task`` and
+    ``v_machine`` are the task and machine coefficients of variation.
+    """
+
+    mean_task: float = 1000.0
+    v_task: float = 0.5
+    v_machine: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_task <= 0:
+            raise ConfigurationError(f"mean_task must be positive, got {self.mean_task}")
+        if self.v_task <= 0 or self.v_machine <= 0:
+            raise ConfigurationError(
+                "coefficients of variation must be positive "
+                f"(got v_task={self.v_task}, v_machine={self.v_machine})"
+            )
+
+
+#: Conventional CVB parameters per heterogeneity class (V=0.6 high, 0.1 low).
+HETEROGENEITY_CVB: dict[Heterogeneity, CVBParams] = {
+    Heterogeneity.HIHI: CVBParams(v_task=0.6, v_machine=0.6),
+    Heterogeneity.HILO: CVBParams(v_task=0.6, v_machine=0.1),
+    Heterogeneity.LOHI: CVBParams(v_task=0.1, v_machine=0.6),
+    Heterogeneity.LOLO: CVBParams(v_task=0.1, v_machine=0.1),
+}
+
+
+def _coerce_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def apply_consistency(
+    values: np.ndarray, consistency: Consistency
+) -> np.ndarray:
+    """Impose a consistency class on raw ETC values (returns a new array).
+
+    * consistent — every row sorted ascending, so machine ``j`` is at
+      least as fast as machine ``j+1`` for every task;
+    * semi-consistent — the even-indexed columns of each row are sorted
+      among themselves (a consistent sub-matrix), odd columns untouched;
+    * inconsistent — values returned as generated.
+    """
+    out = np.array(values, dtype=np.float64, copy=True)
+    if consistency is Consistency.CONSISTENT:
+        out.sort(axis=1)
+    elif consistency is Consistency.SEMI_CONSISTENT:
+        even = out[:, 0::2]
+        even.sort(axis=1)
+        out[:, 0::2] = even
+    elif consistency is Consistency.INCONSISTENT:
+        pass
+    else:  # pragma: no cover - enum exhaustiveness guard
+        raise ConfigurationError(f"unknown consistency {consistency!r}")
+    return out
+
+
+def generate_range_based(
+    num_tasks: int,
+    num_machines: int,
+    heterogeneity: Heterogeneity | RangeBasedParams = Heterogeneity.HIHI,
+    consistency: Consistency = Consistency.INCONSISTENT,
+    rng: np.random.Generator | int | None = None,
+) -> ETCMatrix:
+    """Generate an ETC matrix with the range-based method.
+
+    Parameters
+    ----------
+    heterogeneity:
+        Either a :class:`Heterogeneity` class (mapped through
+        :data:`HETEROGENEITY_RANGES`) or explicit
+        :class:`RangeBasedParams`.
+    rng:
+        ``numpy`` generator or seed; all randomness flows through it.
+    """
+    if num_tasks < 1 or num_machines < 1:
+        raise ConfigurationError(
+            f"need at least 1 task and machine, got {num_tasks}x{num_machines}"
+        )
+    params = (
+        heterogeneity
+        if isinstance(heterogeneity, RangeBasedParams)
+        else HETEROGENEITY_RANGES[heterogeneity]
+    )
+    gen = _coerce_rng(rng)
+    tau = gen.uniform(1.0, params.task_range, size=(num_tasks, 1))
+    factors = gen.uniform(1.0, params.machine_range, size=(num_tasks, num_machines))
+    values = apply_consistency(tau * factors, consistency)
+    return ETCMatrix(values)
+
+
+def generate_cvb(
+    num_tasks: int,
+    num_machines: int,
+    params: CVBParams | Heterogeneity = Heterogeneity.HIHI,
+    consistency: Consistency = Consistency.INCONSISTENT,
+    rng: np.random.Generator | int | None = None,
+) -> ETCMatrix:
+    """Generate an ETC matrix with the CVB (gamma) method.
+
+    A per-task mean ``q_i ~ Gamma(alpha_t, mean_task / alpha_t)`` is
+    drawn with ``alpha_t = 1 / v_task**2``; each entry is then
+    ``etc[i, j] ~ Gamma(alpha_m, q_i / alpha_m)`` with
+    ``alpha_m = 1 / v_machine**2``, giving the requested coefficients of
+    variation along both axes.
+    """
+    if num_tasks < 1 or num_machines < 1:
+        raise ConfigurationError(
+            f"need at least 1 task and machine, got {num_tasks}x{num_machines}"
+        )
+    p = params if isinstance(params, CVBParams) else HETEROGENEITY_CVB[params]
+    gen = _coerce_rng(rng)
+    alpha_task = 1.0 / (p.v_task**2)
+    alpha_machine = 1.0 / (p.v_machine**2)
+    q = gen.gamma(shape=alpha_task, scale=p.mean_task / alpha_task, size=num_tasks)
+    values = gen.gamma(
+        shape=alpha_machine,
+        scale=q[:, None] / alpha_machine,
+        size=(num_tasks, num_machines),
+    )
+    # Gamma draws can underflow to 0 for tiny shapes; clamp away from zero
+    # so ETCMatrix's strict-positivity invariant holds.
+    np.maximum(values, np.finfo(np.float64).tiny * 1e6, out=values)
+    values = apply_consistency(values, consistency)
+    return ETCMatrix(values)
+
+
+def generate_ensemble(
+    count: int,
+    num_tasks: int,
+    num_machines: int,
+    heterogeneity: Heterogeneity = Heterogeneity.HIHI,
+    consistency: Consistency = Consistency.INCONSISTENT,
+    method: str = "range",
+    rng: np.random.Generator | int | None = None,
+) -> list[ETCMatrix]:
+    """Generate ``count`` independent ETC matrices from one seeded stream.
+
+    ``method`` is ``"range"`` or ``"cvb"``.  Used by the statistical
+    study (experiment E23/E24 in DESIGN.md).
+    """
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    gen = _coerce_rng(rng)
+    if method == "range":
+        return [
+            generate_range_based(num_tasks, num_machines, heterogeneity, consistency, gen)
+            for _ in range(count)
+        ]
+    if method == "cvb":
+        return [
+            generate_cvb(num_tasks, num_machines, heterogeneity, consistency, gen)
+            for _ in range(count)
+        ]
+    raise ConfigurationError(f"unknown generation method {method!r}")

@@ -1,0 +1,97 @@
+"""Serialisation of ETC matrices (CSV and JSON).
+
+Round-trip formats for sharing instances between experiments:
+
+* **CSV** — first row is ``task`` followed by machine labels; each
+  subsequent row is a task label followed by its ETC values.
+* **JSON** — ``{"tasks": [...], "machines": [...], "values": [[...]]}``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from pathlib import Path
+
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ETCShapeError
+
+__all__ = [
+    "to_csv",
+    "from_csv",
+    "save_csv",
+    "load_csv",
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+]
+
+
+def to_csv(etc: ETCMatrix) -> str:
+    """Serialise to CSV text (header row ``task,<machines...>``)."""
+    buf = _io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["task", *etc.machines])
+    for i, task in enumerate(etc.tasks):
+        writer.writerow([task, *(repr(float(v)) for v in etc.values[i])])
+    return buf.getvalue()
+
+
+def from_csv(text: str) -> ETCMatrix:
+    """Parse CSV text produced by :func:`to_csv` (or hand-written)."""
+    rows = [r for r in csv.reader(_io.StringIO(text)) if r]
+    if not rows:
+        raise ETCShapeError("empty CSV")
+    header = rows[0]
+    if len(header) < 2 or header[0].strip().lower() != "task":
+        raise ETCShapeError(
+            f"CSV header must be 'task,<machine>...', got {header!r}"
+        )
+    machines = [h.strip() for h in header[1:]]
+    tasks: list[str] = []
+    values: list[list[float]] = []
+    for row in rows[1:]:
+        if len(row) != len(header):
+            raise ETCShapeError(
+                f"CSV row {row!r} has {len(row)} cells, expected {len(header)}"
+            )
+        tasks.append(row[0].strip())
+        values.append([float(cell) for cell in row[1:]])
+    return ETCMatrix(values, tasks=tasks, machines=machines)
+
+
+def save_csv(etc: ETCMatrix, path: str | Path) -> None:
+    Path(path).write_text(to_csv(etc), encoding="utf-8")
+
+
+def load_csv(path: str | Path) -> ETCMatrix:
+    return from_csv(Path(path).read_text(encoding="utf-8"))
+
+
+def to_json(etc: ETCMatrix, indent: int | None = 2) -> str:
+    """Serialise to a JSON document."""
+    doc = {
+        "tasks": list(etc.tasks),
+        "machines": list(etc.machines),
+        "values": etc.values.tolist(),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def from_json(text: str) -> ETCMatrix:
+    """Parse the JSON document produced by :func:`to_json`."""
+    doc = json.loads(text)
+    try:
+        return ETCMatrix(doc["values"], tasks=doc["tasks"], machines=doc["machines"])
+    except KeyError as exc:
+        raise ETCShapeError(f"JSON ETC document missing key {exc}") from None
+
+
+def save_json(etc: ETCMatrix, path: str | Path) -> None:
+    Path(path).write_text(to_json(etc), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> ETCMatrix:
+    return from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,240 @@
+"""Witness ETC matrices for the paper's worked examples.
+
+The source text of the paper we reproduce from has the numerals inside
+every table dropped (a transcription artefact), but the prose around
+each example preserves the *complete behavioural specification*: the
+per-machine completion-time vectors of the original and first iterative
+mappings, the makespan machines, and the exact decision that diverges.
+Each function below returns a matrix **derived** to satisfy that
+specification; the derivations are spelled out in the docstrings and the
+test suite replays every documented number.
+
+All examples use initial ready times of zero, as the paper states.
+"""
+
+from __future__ import annotations
+
+from repro.etc.matrix import ETCMatrix
+
+__all__ = [
+    "minmin_example_etc",
+    "mct_met_example_etc",
+    "swa_example_etc",
+    "SWA_EXAMPLE_LOW_THRESHOLD",
+    "SWA_EXAMPLE_HIGH_THRESHOLD",
+    "kpb_example_etc",
+    "KPB_EXAMPLE_PERCENT",
+    "sufferage_example_etc",
+]
+
+
+def minmin_example_etc() -> ETCMatrix:
+    """Table 1 — ETC matrix of the Min-Min example (Section 3.2).
+
+    Documented behaviour reproduced by this matrix:
+
+    * original mapping completion times ``m1: 5, m2: 2, m3: 4``;
+      makespan machine ``m1``;
+    * during the original mapping one task is *tied* between ``m2`` and
+      ``m3`` (completion time 2) and the tie is broken to ``m2``;
+    * the first iterative mapping (machines ``m2, m3``) breaks the same
+      tie to ``m3`` instead, yielding ``m2: 1, m3: 6`` — the makespan
+      *increases* from 5 to 6 and ``m3`` becomes the makespan machine.
+
+    Derivation.  Original Min-Min trace with ready times 0:
+
+    1. pair minimum is (t1, m2) at CT 1 → t1→m2 (rt m2 = 1);
+    2. t2's best CT is 2 on both m2 (1 + 1) and m3 (0 + 2) — the
+       documented tie; original breaks it to m2 (rt m2 = 2);
+    3. t3 → m3 at CT 4;
+    4. t4 → m1 at CT 5 (the makespan machine).
+
+    First iterative mapping (m1 and t4 removed, ready times reset):
+
+    1. t1 → m2 at CT 1;
+    2. t2 again tied at CT 2 between m2 (1 + 1) and m3 (0 + 2); the
+       random policy picks m3 this time (rt m3 = 2);
+    3. t3: CT m2 = 1 + 6 = 7, m3 = 2 + 4 = 6 → m3 (rt m3 = 6).
+
+    Final iterative finishing times: m2 = 1, m3 = 6.
+    """
+    return ETCMatrix(
+        [
+            [3.0, 1.0, 3.0],  # t1
+            [4.0, 1.0, 2.0],  # t2
+            [6.0, 6.0, 4.0],  # t3
+            [5.0, 6.0, 6.0],  # t4
+        ],
+        tasks=("t1", "t2", "t3", "t4"),
+        machines=("m1", "m2", "m3"),
+    )
+
+
+def mct_met_example_etc() -> ETCMatrix:
+    """Table 4 — ETC matrix shared by the MCT and MET examples (3.3–3.4).
+
+    Documented behaviour reproduced by this matrix (task list order
+    t1, t2, t3, t4; both heuristics):
+
+    * original mapping completion times ``m1: 4, m2: 3, m3: 3``;
+      makespan machine ``m1``;
+    * the example "relies on a tie in the mapping of t2 between m2 and
+      m3"; the original breaks it to ``m2`` ("there are two MET machines
+      for t2");
+    * the first iterative mapping breaks the t2 tie to ``m3``, yielding
+      ``m2: 1, m3: 5`` — makespan increases from 4 to 5; new makespan
+      machine ``m3``.
+
+    Derivation (MCT, original): t1→m1 (CT 4); t2: CT m1 = 10,
+    m2 = 2, m3 = 2 → tie → m2; t3: CT m1 = 9, m2 = 8, m3 = 3 → m3;
+    t4: CT m1 = 8, m2 = 3, m3 = 6 → m2 (CT 3).  Finishing times
+    (4, 3, 3).  Iterative (m1, t1 removed): t2 tie (2, 2) → m3;
+    t3: m2 = 6, m3 = 5 → m3; t4: m2 = 1, m3 = 8 → m2.  Finishing times
+    m2 = 1, m3 = 5.
+
+    MET reads the same matrix column-wise: t1's fastest machine is m1
+    (4), t2 ties at 2 between m2/m3, t3's fastest is m3 (3), t4's
+    fastest is m2 (1) — identical mappings and the identical
+    makespan-increase behaviour, as in the paper.
+    """
+    return ETCMatrix(
+        [
+            [4.0, 5.0, 5.0],  # t1
+            [6.0, 2.0, 2.0],  # t2
+            [5.0, 6.0, 3.0],  # t3
+            [4.0, 1.0, 3.0],  # t4
+        ],
+        tasks=("t1", "t2", "t3", "t4"),
+        machines=("m1", "m2", "m3"),
+    )
+
+
+#: SWA thresholds of the example: the high threshold (0.49) is legible in
+#: the source; the low threshold's digits are lost, but the documented BI
+#: trace pins it to the open interval (4/13, 0.49) — any value there
+#: reproduces the example verbatim.  We use 0.40.
+SWA_EXAMPLE_LOW_THRESHOLD = 0.40
+SWA_EXAMPLE_HIGH_THRESHOLD = 0.49
+
+
+def swa_example_etc() -> ETCMatrix:
+    """Table 9 — ETC matrix of the Switching Algorithm example (3.5).
+
+    Documented behaviour reproduced (task order t1..t5, deterministic
+    tie-breaking, thresholds above):
+
+    * original mapping: balance-index trace ``x, 0, 0, 1/3, 2/3`` with
+      heuristic trace ``MCT, MCT, MCT, MCT, MET``; completion times
+      ``m1: 6, m2: 5, m3: 5``; makespan machine ``m1``;
+    * first iterative mapping (m1 and t1 removed): BI trace
+      ``x, 0, 1/2, 4/13`` with heuristics ``MCT, MCT, MET, MCT``;
+      completion times ``m2: 4, m3: 6.5`` — makespan increases from 6
+      to 6.5 *with deterministic tie-breaking*;
+    * "t2 and t3 are assigned to the same machines in both mappings;
+      t4 differs because the allocation of t3 leaves a different BI".
+
+    Derivation (original): t1 by MCT → m1 (CT 6; rt 6,0,0; BI 0);
+    t2 by MCT → m2 (CT 2; rt 6,2,0; BI 0); t3 by MCT → m3 (CT 4;
+    rt 6,2,4; BI 1/3); t4 by MCT → m2 (CT 5; rt 6,5,4; BI 2/3 > 0.49 →
+    switch to MET); t5 by MET → m3 (ETC 1; CT 5).  Iterative: t2 by
+    MCT → m2 (CT 2; BI 0); t3 by MCT → m3 (CT 4; BI 2/4 = 1/2 > 0.49 →
+    MET); t4 by MET → m3 (ETC 2.5; CT 6.5; BI 2/6.5 = 4/13 < low →
+    MCT); t5 by MCT → m2 (CT 4).
+    """
+    return ETCMatrix(
+        [
+            [6.0, 7.0, 8.0],  # t1
+            [4.0, 2.0, 3.0],  # t2
+            [9.0, 5.0, 4.0],  # t3
+            [7.0, 3.0, 2.5],  # t4
+            [6.0, 2.0, 1.0],  # t5
+        ],
+        tasks=("t1", "t2", "t3", "t4", "t5"),
+        machines=("m1", "m2", "m3"),
+    )
+
+
+#: K-percent value of the paper's KPB example: with 3 machines the best
+#: two are used (floor(3 * 0.7) = 2); with 2 machines only one — MET.
+KPB_EXAMPLE_PERCENT = 70.0
+
+
+def kpb_example_etc() -> ETCMatrix:
+    """Table 12 — ETC matrix of the K-Percent Best example (3.6).
+
+    Documented behaviour reproduced (task order t1..t5, k = 70%,
+    deterministic tie-breaking):
+
+    * original mapping (subset = best 2 of 3 machines per task):
+      completion times ``m1: 6, m2: 5, m3: 5.5``; makespan machine
+      ``m1``;
+    * first iterative mapping (m1 and t1 removed; subset shrinks to 1 of
+      2 machines, "forcing K-percent Best to perform like MET"):
+      completion times ``m2: 7, m3: 3`` — makespan increases from 6 to
+      7 *with deterministic tie-breaking*; new makespan machine ``m2``.
+
+    Derivation (original; subsets by smallest ETC): t1 subset {m1, m2}
+    → m1 (CT 6); t2 subset {m2, m3} → m2 (CT 2); t3 subset {m3, m2} →
+    m3 (CT 3); t4 subset {m2, m3} → m2 (CT 5); t5 subset {m2, m3} → m3
+    (CT 5.5).  Iterative (machines m2, m3; subset = single fastest):
+    t2 → m2 (CT 2); t3 → m3 (CT 3); t4 → m2 (CT 5); t5 → m2 (CT 7).
+    """
+    return ETCMatrix(
+        [
+            [6.0, 6.5, 9.0],  # t1
+            [8.0, 2.0, 4.0],  # t2
+            [7.0, 5.0, 3.0],  # t3
+            [9.0, 3.0, 6.0],  # t4
+            [8.0, 2.0, 2.5],  # t5
+        ],
+        tasks=("t1", "t2", "t3", "t4", "t5"),
+        machines=("m1", "m2", "m3"),
+    )
+
+
+def sufferage_example_etc() -> ETCMatrix:
+    """Table 15 — ETC matrix of the Sufferage example (Section 3.7).
+
+    Documented behaviour reproduced (9 tasks t0..t8, deterministic
+    tie-breaking):
+
+    * original mapping completion times ``m1: 10, m2: 9.5, m3: 9.5``;
+      makespan machine ``m1``;
+    * first iterative mapping: ``m2: 10.5, m3: 8.5`` — the makespan
+      increases from 10 to 10.5 with deterministic tie-breaking; new
+      makespan machine ``m2``.
+
+    Derivation.  The mechanism the paper describes is that removing the
+    makespan machine changes *sufferage values* and hence the winners of
+    machine contests across passes, re-shuffling the assignment until a
+    surviving machine is overloaded.  The example "is considerably more
+    complex than the examples provided for K-percent Best and SWA"
+    (Section 3.7), so instead of a by-hand construction the exact values
+    below were found with a randomised hill-climbing search over
+    half-integer ETC grids (the method now packaged as
+    :func:`repro.analysis.counterexamples.search_counterexample`)
+    constrained to the precise completion-time vectors the paper's prose
+    reports, then frozen here.  The resulting run uses 5 sufferage
+    passes per mapping and re-maps three of the six surviving tasks in
+    the first iterative mapping; the unit tests replay the full per-pass
+    trace and every documented number.
+    """
+    return ETCMatrix(
+        _SUFFERAGE_VALUES,
+        tasks=tuple(f"t{i}" for i in range(len(_SUFFERAGE_VALUES))),
+        machines=("m1", "m2", "m3"),
+    )
+
+
+# Frozen output of the constrained witness search (see docstring above).
+_SUFFERAGE_VALUES: list[list[float]] = [
+    [2.0, 5.5, 1.5],  # t0
+    [2.5, 10.0, 7.0],  # t1
+    [2.0, 6.5, 9.0],  # t2
+    [5.5, 7.5, 10.0],  # t3
+    [9.5, 2.5, 1.0],  # t4
+    [2.0, 5.0, 3.5],  # t5
+    [4.0, 6.0, 4.5],  # t6
+    [1.0, 4.0, 2.5],  # t7
+    [8.5, 4.5, 8.5],  # t8
+]

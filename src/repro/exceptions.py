@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so that callers
+can catch every library failure with a single ``except`` clause while
+still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ETCError",
+    "ETCShapeError",
+    "ETCValueError",
+    "LabelError",
+    "MappingError",
+    "UnmappedTaskError",
+    "UnknownHeuristicError",
+    "ConfigurationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ETCError(ReproError):
+    """Base class for errors involving ETC matrices."""
+
+
+class ETCShapeError(ETCError):
+    """An ETC matrix (or labels for one) has an invalid shape."""
+
+
+class ETCValueError(ETCError):
+    """An ETC matrix contains invalid values (negative, NaN, inf)."""
+
+
+class LabelError(ETCError, KeyError):
+    """A task or machine label does not exist in the matrix."""
+
+
+class MappingError(ReproError):
+    """A mapping violates a structural invariant.
+
+    Examples: a task is assigned twice, an assignment references a
+    machine outside the considered machine set, or completion times do
+    not recompute consistently.
+    """
+
+
+class UnmappedTaskError(MappingError):
+    """A completion-time query referenced a task that is not mapped."""
+
+
+class UnknownHeuristicError(ReproError, KeyError):
+    """A heuristic name was not found in the registry."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A heuristic or experiment was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

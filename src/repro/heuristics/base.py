@@ -1,0 +1,151 @@
+"""Heuristic interface and registry.
+
+Every mapping heuristic of the paper (and every baseline) implements the
+same contract: given an ETC matrix (possibly a restriction produced by
+the iterative technique), initial machine ready times, and a
+tie-breaking policy, produce a complete :class:`~repro.core.schedule.Mapping`.
+
+Task ordering convention: heuristics that consume "a task list in a
+given arbitrary order" (MCT, MET, SWA, K-percent Best) use the ETC row
+order.  Because :meth:`ETCMatrix.submatrix` preserves relative row
+order, the list is *arbitrary but fixed between iterations* exactly as
+the paper's proofs require (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Mapping as MappingABC, Sequence
+
+
+from repro.core.schedule import Mapping
+from repro.core.ties import DeterministicTieBreaker, TieBreaker
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import MappingError, UnknownHeuristicError
+
+__all__ = [
+    "Heuristic",
+    "register_heuristic",
+    "get_heuristic",
+    "heuristic_names",
+    "validate_complete",
+]
+
+ReadyTimes = "MappingABC[str, float] | Sequence[float] | None"
+
+
+class Heuristic(abc.ABC):
+    """Base class for makespan-minimising mapping heuristics.
+
+    Subclasses set :attr:`name` and implement :meth:`_run`.  The public
+    entry point :meth:`map_tasks` normalises arguments, runs the
+    heuristic and verifies that the result maps every task.
+    """
+
+    #: Registry key and display name (e.g. ``"min-min"``).
+    name: str = ""
+
+    #: Whether the heuristic can exploit a seed mapping natively (only
+    #: Genitor in the paper; see also
+    #: :class:`repro.core.seeding.SeededIterativeScheduler` which grafts
+    #: seeding onto any heuristic).
+    supports_seeding: bool = False
+
+    def map_tasks(
+        self,
+        etc: ETCMatrix,
+        ready_times: MappingABC[str, float] | Sequence[float] | None = None,
+        tie_breaker: TieBreaker | None = None,
+        *,
+        seed_mapping: MappingABC[str, str] | None = None,
+    ) -> Mapping:
+        """Map every task of ``etc`` onto a machine.
+
+        Parameters
+        ----------
+        etc:
+            The (possibly restricted) ETC matrix.
+        ready_times:
+            Initial machine ready times (default all zero).
+        tie_breaker:
+            Tie-breaking policy (default deterministic lowest index).
+        seed_mapping:
+            Optional ``{task: machine}`` seed.  Ignored unless
+            :attr:`supports_seeding` is true.
+        """
+        breaker = tie_breaker or DeterministicTieBreaker()
+        mapping = Mapping(etc, ready_times)
+        if seed_mapping is not None and self.supports_seeding:
+            self._validate_seed(etc, seed_mapping)
+            self._run(mapping, breaker, seed_mapping=dict(seed_mapping))
+        else:
+            self._run(mapping, breaker, seed_mapping=None)
+        validate_complete(mapping)
+        return mapping
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        mapping: Mapping,
+        tie_breaker: TieBreaker,
+        seed_mapping: dict[str, str] | None,
+    ) -> None:
+        """Fill ``mapping`` with one assignment per task."""
+
+    @staticmethod
+    def _validate_seed(etc: ETCMatrix, seed_mapping: MappingABC[str, str]) -> None:
+        seed_tasks = set(seed_mapping)
+        if seed_tasks != set(etc.tasks):
+            missing = set(etc.tasks) - seed_tasks
+            extra = seed_tasks - set(etc.tasks)
+            raise MappingError(
+                f"seed mapping does not cover the task set exactly "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        for task, machine in seed_mapping.items():
+            etc.machine_index(machine)
+            etc.task_index(task)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def validate_complete(mapping: Mapping) -> None:
+    """Raise :class:`MappingError` unless every task is assigned once."""
+    if not mapping.is_complete():
+        raise MappingError(
+            f"heuristic left {len(mapping.unmapped_tasks())} task(s) unmapped: "
+            f"{mapping.unmapped_tasks()[:5]!r}..."
+        )
+
+
+_REGISTRY: dict[str, Callable[[], Heuristic]] = {}
+
+
+def register_heuristic(factory: Callable[[], Heuristic] | type[Heuristic]):
+    """Class decorator/registrar adding a heuristic factory by its name."""
+    probe = factory()
+    if not probe.name:
+        raise ValueError(f"heuristic {factory!r} does not define a name")
+    _REGISTRY[probe.name] = factory
+    return factory
+
+
+def get_heuristic(name: str, **kwargs) -> Heuristic:
+    """Instantiate a registered heuristic by name.
+
+    ``kwargs`` are forwarded to the factory, enabling e.g.
+    ``get_heuristic("k-percent-best", percent=70.0)``.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownHeuristicError(
+            f"unknown heuristic {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs) if kwargs else factory()
+
+
+def heuristic_names() -> tuple[str, ...]:
+    """All registered heuristic names, sorted."""
+    return tuple(sorted(_REGISTRY))

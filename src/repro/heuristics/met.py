@@ -1,0 +1,44 @@
+"""Minimum Execution Time (MET) heuristic — paper Figure 8.
+
+Procedure (verbatim structure):
+
+1. A task list is generated that includes all unmapped tasks in a given
+   arbitrary order (we use ETC row order).
+2. The first task in the list is mapped to its minimum *execution* time
+   machine — machine load (ready time) is ignored entirely.
+3. The task is removed from the list.
+4. Steps 2–3 are repeated until all tasks have been mapped.
+
+MET is O(T·M) and load-oblivious, so it can pile every task onto one
+fast machine; the paper proves its mapping never changes across
+iterations of the iterative technique under deterministic ties
+(Section 3.4) and shows by example that random tie-breaking can
+increase makespan.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Mapping
+from repro.core.ties import TieBreaker
+from repro.heuristics.base import Heuristic, register_heuristic
+
+__all__ = ["MET"]
+
+
+@register_heuristic
+class MET(Heuristic):
+    """Minimum Execution Time: each task to its fastest machine."""
+
+    name = "met"
+
+    def _run(
+        self,
+        mapping: Mapping,
+        tie_breaker: TieBreaker,
+        seed_mapping: dict[str, str] | None,
+    ) -> None:
+        etc = mapping.etc
+        for task in etc.tasks:
+            row = etc.task_row(task)
+            machine_idx = tie_breaker.argmin(row)
+            mapping.assign(task, etc.machines[machine_idx])

@@ -1,0 +1,35 @@
+"""Discrete-event HC system simulator substrate."""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.hcsystem import (
+    ArrivalWorkload,
+    DynamicHCSimulation,
+    HCSystem,
+    KPBOnline,
+    MCTOnline,
+    METOnline,
+    OLBOnline,
+    OnlinePolicy,
+    SWAOnline,
+    poisson_workload,
+)
+from repro.sim.trace import ExecutionTrace, TaskExecution
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "ExecutionTrace",
+    "TaskExecution",
+    "HCSystem",
+    "ArrivalWorkload",
+    "poisson_workload",
+    "OnlinePolicy",
+    "MCTOnline",
+    "METOnline",
+    "OLBOnline",
+    "KPBOnline",
+    "SWAOnline",
+    "DynamicHCSimulation",
+]

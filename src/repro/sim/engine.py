@@ -1,0 +1,97 @@
+"""Generic discrete-event simulation engine.
+
+The engine owns the clock and the event queue; domain logic registers
+per-kind handlers.  Time only moves forward — scheduling an event in the
+past raises :class:`SimulationError`, which is how schedule bugs in the
+HC system model surface immediately instead of silently corrupting
+finishing times.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event engine."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._handlers: dict[str, list[Callable[[Event], None]]] = {}
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events dispatched so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def on(self, kind: str, handler: Callable[[Event], None]) -> None:
+        """Register ``handler`` for events of ``kind`` (multiple allowed,
+        dispatched in registration order)."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def schedule(
+        self, delay: float, kind: str, payload=None, priority: int = 0
+    ) -> Event:
+        """Schedule an event ``delay`` time units from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(
+            Event(time=self._now + delay, kind=kind, payload=payload, priority=priority)
+        )
+
+    def schedule_at(
+        self, time: float, kind: str, payload=None, priority: int = 0
+    ) -> Event:
+        """Schedule an event at absolute ``time`` (``time >= now``)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self._queue.push(
+            Event(time=time, kind=kind, payload=payload, priority=priority)
+        )
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Dispatch events in order; returns the final simulation time.
+
+        Stops when the queue empties, when the next event lies beyond
+        ``until`` (clock advances to ``until``), or after ``max_events``
+        dispatches (a runaway-model guard).
+        """
+        while self._queue:
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            if max_events is not None and self._processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway event loop?"
+                )
+            event = self._queue.pop()
+            self._now = event.time
+            self._processed += 1
+            handlers = self._handlers.get(event.kind)
+            if not handlers:
+                raise SimulationError(f"no handler registered for event {event.kind!r}")
+            for handler in handlers:
+                handler(event)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

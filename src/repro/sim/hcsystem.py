@@ -1,0 +1,388 @@
+"""Simulated heterogeneous computing suite.
+
+Two operating modes, both built on the generic engine:
+
+* **static** (:class:`HCSystem`) — execute a complete, precomputed
+  mapping: each machine runs its tasks one at a time in assignment
+  order from its initial ready time.  This independently *measures* the
+  finishing times that the analytic Eq. (1) bookkeeping predicts; the
+  property suite asserts they agree for every heuristic (DESIGN.md E25).
+
+* **dynamic** (:class:`DynamicHCSimulation`) — tasks arrive over time
+  (the environment SWA, K-percent Best and Sufferage were designed for
+  in Maheswaran et al.).  *Immediate mode* maps each task the moment it
+  arrives using an :class:`OnlinePolicy`; *batch mode* collects pending
+  tasks and remaps them with a full batch heuristic at every mapping
+  event (fixed-interval cadence).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping as MappingABC
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import Mapping, ready_time_vector
+from repro.core.ties import DeterministicTieBreaker, TieBreaker, tied_argmin
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.heuristics.base import Heuristic
+from repro.heuristics.kpb import kpb_subset_size
+from repro.heuristics.swa import balance_index
+from repro.sim.engine import Simulator
+from repro.sim.trace import ExecutionTrace, TaskExecution
+
+__all__ = [
+    "HCSystem",
+    "ArrivalWorkload",
+    "poisson_workload",
+    "OnlinePolicy",
+    "MCTOnline",
+    "METOnline",
+    "OLBOnline",
+    "KPBOnline",
+    "SWAOnline",
+    "DynamicHCSimulation",
+]
+
+
+# ----------------------------------------------------------------------
+# Static execution
+# ----------------------------------------------------------------------
+class HCSystem:
+    """Executes a complete static mapping and measures the timeline."""
+
+    def __init__(
+        self,
+        etc: ETCMatrix,
+        initial_ready: MappingABC[str, float] | Sequence[float] | None = None,
+    ) -> None:
+        self.etc = etc
+        self._initial_ready = ready_time_vector(etc, initial_ready)
+
+    def execute(self, mapping: Mapping) -> ExecutionTrace:
+        """Run ``mapping`` to completion; returns the measured trace."""
+        if mapping.etc is not self.etc and mapping.etc != self.etc:
+            raise SimulationError("mapping was built for a different ETC matrix")
+        sim = Simulator()
+        trace = ExecutionTrace(self.etc.machines)
+        queues: dict[str, deque[str]] = {
+            m: deque(mapping.machine_tasks(m)) for m in self.etc.machines
+        }
+
+        def start_next(machine: str) -> None:
+            queue = queues[machine]
+            if not queue:
+                return
+            task = queue.popleft()
+            duration = self.etc.etc(task, machine)
+            start = sim.now
+            sim.schedule(duration, "task-finish", payload=(task, machine, start))
+
+        def on_machine_ready(event) -> None:
+            start_next(event.payload)
+
+        def on_task_finish(event) -> None:
+            task, machine, start = event.payload
+            trace.add(
+                TaskExecution(task=task, machine=machine, start=start, finish=sim.now)
+            )
+            start_next(machine)
+
+        sim.on("machine-ready", on_machine_ready)
+        sim.on("task-finish", on_task_finish)
+        for j, machine in enumerate(self.etc.machines):
+            sim.schedule_at(float(self._initial_ready[j]), "machine-ready", machine)
+        sim.run()
+        if len(trace) != mapping.num_assigned:
+            raise SimulationError(
+                f"executed {len(trace)} tasks but the mapping holds "
+                f"{mapping.num_assigned}"
+            )
+        return trace
+
+    def measured_finish_times(self, mapping: Mapping) -> dict[str, float]:
+        """Per-machine measured finishing times (idle machines keep
+        their initial ready time, matching ``Mapping`` semantics)."""
+        trace = self.execute(mapping)
+        base = dict(zip(self.etc.machines, self._initial_ready.tolist()))
+        return trace.machine_finish_times(initial_ready=base)
+
+
+# ----------------------------------------------------------------------
+# Dynamic workloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrivalWorkload:
+    """Tasks with arrival times over an ETC matrix.
+
+    ``arrivals[i]`` is the arrival time of ``etc.tasks[i]``; arrivals
+    need not be sorted (the simulator orders them).
+    """
+
+    etc: ETCMatrix
+    arrivals: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.arrivals) != self.etc.num_tasks:
+            raise ConfigurationError(
+                f"{len(self.arrivals)} arrival times for {self.etc.num_tasks} tasks"
+            )
+        if any(a < 0 or a != a for a in self.arrivals):
+            raise ConfigurationError("arrival times must be finite and non-negative")
+
+    def arrival_of(self, task: str) -> float:
+        return self.arrivals[self.etc.task_index(task)]
+
+
+def poisson_workload(
+    etc: ETCMatrix,
+    rate: float,
+    rng: np.random.Generator | int | None = None,
+) -> ArrivalWorkload:
+    """Poisson arrivals: exponential inter-arrival times with ``rate``."""
+    if rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gaps = gen.exponential(1.0 / rate, size=etc.num_tasks)
+    return ArrivalWorkload(etc=etc, arrivals=tuple(np.cumsum(gaps).tolist()))
+
+
+# ----------------------------------------------------------------------
+# Immediate-mode policies (Maheswaran et al. on-line heuristics)
+# ----------------------------------------------------------------------
+class OnlinePolicy:
+    """Chooses a machine for one task the moment it arrives.
+
+    ``expected_free[j]`` is when machine ``j`` will have drained its
+    current queue (the on-line analogue of the ready time).
+    """
+
+    name: str = ""
+
+    def __init__(self, tie_breaker: TieBreaker | None = None) -> None:
+        self.tie_breaker = tie_breaker or DeterministicTieBreaker()
+
+    def choose(self, etc_row: np.ndarray, expected_free: np.ndarray, now: float) -> int:
+        raise NotImplementedError
+
+
+class MCTOnline(OnlinePolicy):
+    """On-line MCT: minimise expected completion time."""
+
+    name = "mct-online"
+
+    def choose(self, etc_row: np.ndarray, expected_free: np.ndarray, now: float) -> int:
+        completion = np.maximum(expected_free, now) + etc_row
+        return self.tie_breaker.choose(tied_argmin(completion))
+
+
+class METOnline(OnlinePolicy):
+    """On-line MET: fastest machine regardless of load."""
+
+    name = "met-online"
+
+    def choose(self, etc_row: np.ndarray, expected_free: np.ndarray, now: float) -> int:
+        return self.tie_breaker.choose(tied_argmin(etc_row))
+
+
+class OLBOnline(OnlinePolicy):
+    """On-line OLB: machine expected free soonest."""
+
+    name = "olb-online"
+
+    def choose(self, etc_row: np.ndarray, expected_free: np.ndarray, now: float) -> int:
+        return self.tie_breaker.choose(tied_argmin(np.maximum(expected_free, now)))
+
+
+class KPBOnline(OnlinePolicy):
+    """On-line K-percent Best: MCT within the k% fastest machines."""
+
+    name = "kpb-online"
+
+    def __init__(
+        self, percent: float = 50.0, tie_breaker: TieBreaker | None = None
+    ) -> None:
+        super().__init__(tie_breaker)
+        if not 0.0 < percent <= 100.0:
+            raise ConfigurationError(f"percent must be in (0, 100], got {percent}")
+        self.percent = float(percent)
+
+    def choose(self, etc_row: np.ndarray, expected_free: np.ndarray, now: float) -> int:
+        size = kpb_subset_size(etc_row.size, self.percent)
+        subset = np.sort(np.argsort(etc_row, kind="stable")[:size])
+        completion = np.maximum(expected_free[subset], now) + etc_row[subset]
+        pick = self.tie_breaker.choose(tied_argmin(completion))
+        return int(subset[pick])
+
+
+class SWAOnline(OnlinePolicy):
+    """On-line Switching Algorithm: MCT/MET toggled by the balance index."""
+
+    name = "swa-online"
+
+    def __init__(
+        self,
+        low: float = 0.40,
+        high: float = 0.49,
+        tie_breaker: TieBreaker | None = None,
+    ) -> None:
+        super().__init__(tie_breaker)
+        if not 0.0 <= low < high <= 1.0:
+            raise ConfigurationError(
+                f"thresholds must satisfy 0 <= low < high <= 1, got {low}, {high}"
+            )
+        self.low = float(low)
+        self.high = float(high)
+        self._current = "mct"
+
+    def choose(self, etc_row: np.ndarray, expected_free: np.ndarray, now: float) -> int:
+        load = np.maximum(expected_free, now)
+        bi = balance_index(load)
+        if bi == bi:  # not NaN
+            if bi > self.high:
+                self._current = "met"
+            elif bi < self.low:
+                self._current = "mct"
+        if self._current == "met":
+            return self.tie_breaker.choose(tied_argmin(etc_row))
+        return self.tie_breaker.choose(tied_argmin(load + etc_row))
+
+
+# ----------------------------------------------------------------------
+# Dynamic simulation
+# ----------------------------------------------------------------------
+class DynamicHCSimulation:
+    """Simulates a dynamic HC system under an on-line or batch policy.
+
+    Exactly one of ``policy`` (immediate mode) or ``batch_heuristic``
+    (batch mode) must be given.  In batch mode a *mapping event* fires
+    when a task arrives and at least ``batch_interval`` time units have
+    passed since the previous mapping event (Maheswaran et al.'s
+    interval-based batch mode); any tasks still pending once arrivals
+    stop are mapped in a final flush.
+    """
+
+    def __init__(
+        self,
+        workload: ArrivalWorkload,
+        policy: OnlinePolicy | None = None,
+        batch_heuristic: Heuristic | None = None,
+        batch_interval: float = 1.0,
+        tie_breaker: TieBreaker | None = None,
+    ) -> None:
+        if (policy is None) == (batch_heuristic is None):
+            raise ConfigurationError(
+                "provide exactly one of policy (immediate) or batch_heuristic"
+            )
+        if batch_heuristic is not None and batch_interval <= 0:
+            raise ConfigurationError(
+                f"batch_interval must be positive, got {batch_interval}"
+            )
+        self.workload = workload
+        self.policy = policy
+        self.batch_heuristic = batch_heuristic
+        self.batch_interval = float(batch_interval)
+        self.tie_breaker = tie_breaker or DeterministicTieBreaker()
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionTrace:
+        etc = self.workload.etc
+        sim = Simulator()
+        trace = ExecutionTrace(etc.machines)
+        queues: dict[str, deque[str]] = {m: deque() for m in etc.machines}
+        busy: dict[str, bool] = dict.fromkeys(etc.machines, False)
+        expected_free = np.zeros(etc.num_machines, dtype=np.float64)
+        pending: list[str] = []  # batch mode: arrived but unassigned
+        remaining = etc.num_tasks
+        last_batch = -np.inf
+        batch_scheduled = False
+
+        def try_start(machine: str) -> None:
+            if busy[machine] or not queues[machine]:
+                return
+            task = queues[machine].popleft()
+            busy[machine] = True
+            duration = etc.etc(task, machine)
+            sim.schedule(duration, "task-finish", payload=(task, machine, sim.now))
+
+        def dispatch(task: str, machine_idx: int) -> None:
+            machine = etc.machines[machine_idx]
+            queues[machine].append(task)
+            expected_free[machine_idx] = (
+                max(expected_free[machine_idx], sim.now) + etc.values[
+                    etc.task_index(task), machine_idx
+                ]
+            )
+            try_start(machine)
+
+        def on_arrival(event) -> None:
+            nonlocal batch_scheduled
+            task = event.payload
+            if self.policy is not None:
+                row = etc.task_row(task)
+                machine_idx = self.policy.choose(row, expected_free, sim.now)
+                dispatch(task, int(machine_idx))
+                return
+            pending.append(task)
+            # Mapping events run at a lower priority than arrivals so a
+            # burst of simultaneous arrivals is mapped as one batch.
+            if not batch_scheduled and sim.now - last_batch >= self.batch_interval:
+                sim.schedule(0.0, "batch-event", priority=10)
+                batch_scheduled = True
+
+        def on_batch_event(event) -> None:
+            nonlocal batch_scheduled, last_batch
+            batch_scheduled = False
+            last_batch = sim.now
+            run_batch()
+
+        def run_batch() -> None:
+            if not pending:
+                return
+            sub = etc.submatrix(tasks=list(pending))
+            ready = np.maximum(expected_free, sim.now)
+            assert self.batch_heuristic is not None
+            mapping = self.batch_heuristic.map_tasks(
+                sub, ready.tolist(), self.tie_breaker
+            )
+            pending.clear()
+            for a in mapping.assignments:
+                dispatch(a.task, etc.machine_index(a.machine))
+
+        def on_task_finish(event) -> None:
+            nonlocal remaining
+            task, machine, start = event.payload
+            arrival = self.workload.arrival_of(task)
+            trace.add(
+                TaskExecution(
+                    task=task,
+                    machine=machine,
+                    start=start,
+                    finish=sim.now,
+                    arrival=arrival,
+                )
+            )
+            busy[machine] = False
+            remaining -= 1
+            try_start(machine)
+
+        sim.on("task-arrival", on_arrival)
+        sim.on("task-finish", on_task_finish)
+        sim.on("batch-event", on_batch_event)
+        for task in etc.tasks:
+            sim.schedule_at(self.workload.arrival_of(task), "task-arrival", task)
+        sim.run(max_events=20 * etc.num_tasks + 10_000)
+        # Flush any stragglers left pending if the last tick fired early.
+        while len(trace) < etc.num_tasks:
+            run_batch()
+            for m in etc.machines:
+                try_start(m)
+            before = sim.processed_events
+            sim.run(max_events=before + 20 * etc.num_tasks + 10_000)
+            if sim.processed_events == before and len(trace) < etc.num_tasks:
+                raise SimulationError("dynamic simulation stalled with pending tasks")
+        return trace

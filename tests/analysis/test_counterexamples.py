@@ -1,0 +1,126 @@
+"""Unit tests for repro.analysis.counterexamples."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.counterexamples import (
+    Counterexample,
+    find_makespan_increase,
+    half_integer_grid,
+    search_counterexample,
+)
+from repro.core.iterative import IterativeScheduler
+from repro.core.ties import RandomTieBreaker
+from repro.exceptions import ConfigurationError
+from repro.heuristics import Sufferage
+
+
+class TestGrid:
+    def test_half_integers(self):
+        grid = half_integer_grid(0.5, 2.0)
+        assert grid.tolist() == [0.5, 1.0, 1.5, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            half_integer_grid(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            half_integer_grid(2.0, 1.0)
+
+
+class TestFindIncrease:
+    def test_finds_sufferage_witness(self):
+        witness = find_makespan_increase(
+            "sufferage", num_tasks=8, num_machines=3, trials=2500, rng=0
+        )
+        assert witness is not None
+        assert witness.result.makespan_increased()
+        assert witness.increase > 0
+        assert "sufferage" in witness.describe()
+
+    def test_finds_random_tie_witness_for_mct(self):
+        rng = np.random.default_rng(7)
+        witness = find_makespan_increase(
+            "mct",
+            num_tasks=5,
+            num_machines=3,
+            trials=800,
+            value_grid=[1.0, 2.0, 3.0],  # coarse grid -> many ties
+            tie_breaker_factory=lambda: RandomTieBreaker(rng),
+            rng=1,
+        )
+        assert witness is not None
+        assert witness.result.makespan_increased()
+
+    def test_deterministic_mct_yields_none(self):
+        """The theorem says no witness can exist: the search must fail."""
+        witness = find_makespan_increase(
+            "mct", num_tasks=6, num_machines=3, trials=300, rng=2
+        )
+        assert witness is None
+
+    def test_counterexample_properties(self, sufferage_etc):
+        result = IterativeScheduler(Sufferage()).run(sufferage_etc)
+        ce = Counterexample(etc=sufferage_etc, result=result)
+        assert ce.original_makespan == pytest.approx(10.0)
+        assert ce.peak_makespan == pytest.approx(10.5)
+        assert ce.increase == pytest.approx(0.5)
+
+
+class TestTargetedSearch:
+    def test_reconstructs_paper_ct_targets(self):
+        """The targeted search re-derives an instance hitting the exact
+        completion-time vectors of the paper's Sufferage example
+        (Tables 16-17) — the procedure that produced the frozen witness
+        in repro.etc.witness."""
+        witness = search_counterexample(
+            "sufferage",
+            num_tasks=9,
+            num_machines=3,
+            target_original=[10.0, 9.5, 9.5],
+            target_first_iteration=[10.5, 8.5],
+            restarts=20,
+            steps=3000,
+            rng=12345,
+        )
+        assert witness is not None
+        orig = sorted(witness.result.original.mapping.finish_time_vector())
+        assert orig == pytest.approx([9.5, 9.5, 10.0])
+        first = witness.result.iterations[1].mapping.finish_time_vector()
+        assert sorted(first) == pytest.approx([8.5, 10.5])
+        assert witness.result.makespan_increased()
+
+    def test_two_machine_iterative_mapping_cannot_change(self):
+        """Structural impossibility: with two machines, the first
+        iterative mapping re-maps the surviving machine's own tasks onto
+        itself — its finishing time cannot change, so no 2-machine
+        makespan-increase witness exists for any batch heuristic."""
+        witness = find_makespan_increase(
+            "sufferage", num_tasks=6, num_machines=2, trials=1500, rng=0
+        )
+        assert witness is None
+
+    def test_untargeted_search_finds_increase(self):
+        witness = search_counterexample(
+            "sufferage",
+            num_tasks=8,
+            num_machines=3,
+            restarts=10,
+            steps=300,
+            rng=3,
+        )
+        assert witness is not None
+        assert witness.result.makespan_increased()
+
+    def test_impossible_target_returns_none(self):
+        witness = search_counterexample(
+            "mct",
+            num_tasks=3,
+            num_machines=2,
+            # a first-iteration vector with the wrong dimensionality can
+            # never match: machines after one removal = 1, target has 3
+            target_first_iteration=[1.0, 2.0, 3.0],
+            restarts=2,
+            steps=50,
+            rng=0,
+        )
+        assert witness is None

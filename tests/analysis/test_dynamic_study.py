@@ -1,0 +1,81 @@
+"""Unit tests for the dynamic-mode policy study."""
+
+import pytest
+
+from repro.analysis.dynamic_study import (
+    DynamicPolicySpec,
+    default_policies,
+    dynamic_policy_study,
+    format_dynamic_table,
+)
+from repro.exceptions import ConfigurationError
+from repro.sim.hcsystem import MCTOnline, OLBOnline
+
+
+@pytest.fixture(scope="module")
+def small_rows():
+    policies = (
+        DynamicPolicySpec("mct-online", lambda: {"policy": MCTOnline()}),
+        DynamicPolicySpec("olb-online", lambda: {"policy": OLBOnline()}),
+    )
+    return dynamic_policy_study(
+        policies,
+        rates=(1e-4, 1e-3),
+        num_tasks=25,
+        num_machines=4,
+        instances=2,
+        seed=0,
+    )
+
+
+class TestStudy:
+    def test_row_grid(self, small_rows):
+        assert len(small_rows) == 2 * 2  # policies x rates
+        assert {r.policy for r in small_rows} == {"mct-online", "olb-online"}
+        assert {r.rate for r in small_rows} == {1e-4, 1e-3}
+
+    def test_mct_beats_olb(self, small_rows):
+        for rate in (1e-4, 1e-3):
+            cell = {r.policy: r for r in small_rows if r.rate == rate}
+            assert (
+                cell["mct-online"].mean_makespan
+                <= cell["olb-online"].mean_makespan
+            )
+
+    def test_metrics_sane(self, small_rows):
+        for r in small_rows:
+            assert r.mean_makespan > 0
+            assert r.mean_queue_wait >= 0
+            assert 0 <= r.mean_utilisation <= 1
+
+    def test_reproducible(self):
+        policies = (DynamicPolicySpec("mct-online", lambda: {"policy": MCTOnline()}),)
+        a = dynamic_policy_study(
+            policies, rates=(1e-4,), num_tasks=15, num_machines=3,
+            instances=2, seed=3,
+        )
+        b = dynamic_policy_study(
+            policies, rates=(1e-4,), num_tasks=15, num_machines=3,
+            instances=2, seed=3,
+        )
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dynamic_policy_study(rates=(0.0,), instances=1)
+        with pytest.raises(ConfigurationError):
+            dynamic_policy_study(instances=0)
+
+    def test_default_roster(self):
+        names = [spec.name for spec in default_policies()]
+        assert "swa-online" in names
+        assert "batch-sufferage" in names
+        assert len(names) == 7
+
+
+class TestFormatting:
+    def test_table_groups_by_rate(self, small_rows):
+        text = format_dynamic_table(small_rows)
+        assert text.count("arrival rate") == 2
+        assert "mct-online" in text
+        assert "util%" in text

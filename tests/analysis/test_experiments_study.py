@@ -1,0 +1,211 @@
+"""Unit tests for the experiment runner and the studies."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, run_experiment
+from repro.analysis.study import (
+    format_comparison_table,
+    format_improvement_table,
+    heuristic_comparison,
+    improvement_study,
+)
+from repro.etc.generation import Consistency, Heterogeneity
+from repro.exceptions import ConfigurationError
+
+
+class TestExperimentConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(tie_policy="coin")
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(instances_per_cell=0)
+
+
+class TestRunExperiment:
+    def test_record_count(self):
+        config = ExperimentConfig(
+            heuristics=("mct", "met"),
+            num_tasks=10,
+            num_machines=3,
+            instances_per_cell=4,
+            seed=0,
+        )
+        records = run_experiment(config)
+        assert len(records) == 2 * 4
+
+    def test_reproducible_by_seed(self):
+        config = ExperimentConfig(
+            heuristics=("sufferage",),
+            num_tasks=12,
+            num_machines=4,
+            instances_per_cell=3,
+            seed=7,
+        )
+        a = run_experiment(config)
+        b = run_experiment(config)
+        assert [r.comparison.final_makespan for r in a] == [
+            r.comparison.final_makespan for r in b
+        ]
+
+    def test_invariant_heuristics_never_change(self):
+        config = ExperimentConfig(
+            heuristics=("min-min", "mct", "met"),
+            num_tasks=15,
+            num_machines=4,
+            instances_per_cell=5,
+            tie_policy="deterministic",
+            seed=1,
+        )
+        for record in run_experiment(config):
+            assert not record.comparison.mapping_changed
+            assert not record.comparison.makespan_increased
+
+    def test_grid_covers_all_cells(self):
+        config = ExperimentConfig(
+            heuristics=("mct",),
+            num_tasks=8,
+            num_machines=3,
+            heterogeneities=(Heterogeneity.HIHI, Heterogeneity.LOLO),
+            consistencies=(Consistency.CONSISTENT, Consistency.INCONSISTENT),
+            instances_per_cell=2,
+            seed=2,
+        )
+        records = run_experiment(config)
+        cells = {(r.heterogeneity, r.consistency) for r in records}
+        assert len(cells) == 4
+        assert len(records) == 8
+
+    def test_heuristic_kwargs_forwarded(self):
+        config = ExperimentConfig(
+            heuristics=("k-percent-best",),
+            num_tasks=8,
+            num_machines=4,
+            instances_per_cell=2,
+            heuristic_kwargs={"k-percent-best": {"percent": 100.0}},
+            seed=3,
+        )
+        # percent=100 -> KPB == MCT -> invariant under deterministic ties
+        for record in run_experiment(config):
+            assert not record.comparison.mapping_changed
+
+    def test_seeded_iterations_flag(self):
+        config = ExperimentConfig(
+            heuristics=("sufferage",),
+            num_tasks=15,
+            num_machines=4,
+            instances_per_cell=8,
+            seeded_iterations=True,
+            seed=4,
+        )
+        for record in run_experiment(config):
+            assert not record.comparison.makespan_increased
+
+    def test_etc_class_label(self):
+        config = ExperimentConfig(
+            heuristics=("mct",), num_tasks=6, num_machines=3,
+            instances_per_cell=1, seed=0,
+        )
+        rec = run_experiment(config)[0]
+        assert rec.etc_class == "hihi/inconsistent"
+
+
+class TestImprovementStudy:
+    def test_rows_cover_grid(self):
+        rows = improvement_study(
+            heuristics=("mct", "sufferage"),
+            num_tasks=12,
+            num_machines=4,
+            instances=5,
+            tie_policies=("deterministic",),
+            seed=0,
+        )
+        assert {(r.heuristic, r.tie_policy) for r in rows} == {
+            ("mct", "deterministic"),
+            ("sufferage", "deterministic"),
+        }
+
+    def test_paper_dichotomy_visible(self):
+        rows = improvement_study(
+            heuristics=("min-min", "sufferage"),
+            num_tasks=15,
+            num_machines=5,
+            instances=10,
+            tie_policies=("deterministic",),
+            seed=1,
+        )
+        by_name = {r.heuristic: r for r in rows}
+        assert by_name["min-min"].mapping_change_rate == 0.0
+        assert by_name["sufferage"].mapping_change_rate > 0.0
+
+    def test_rate_bounds(self):
+        rows = improvement_study(
+            heuristics=("sufferage",),
+            num_tasks=10,
+            num_machines=3,
+            instances=5,
+            tie_policies=("deterministic",),
+            seed=2,
+        )
+        r = rows[0]
+        for value in (
+            r.mapping_change_rate,
+            r.makespan_increase_rate,
+            r.machine_improved_rate,
+            r.machine_worsened_rate,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_format_table(self):
+        rows = improvement_study(
+            heuristics=("mct",),
+            num_tasks=8,
+            num_machines=3,
+            instances=3,
+            tie_policies=("deterministic",),
+            seed=0,
+        )
+        text = format_improvement_table(rows)
+        assert "mct" in text and "chg%" in text
+
+
+class TestHeuristicComparison:
+    def test_normalisation_anchored_at_one(self):
+        rows = heuristic_comparison(
+            ("min-min", "mct", "olb"),
+            num_tasks=20,
+            num_machines=4,
+            instances=5,
+            heterogeneities=(Heterogeneity.HIHI,),
+            consistencies=(Consistency.INCONSISTENT,),
+            seed=0,
+        )
+        best = min(r.normalized for r in rows)
+        assert best == pytest.approx(1.0)
+
+    def test_minmin_beats_olb(self):
+        rows = heuristic_comparison(
+            ("min-min", "olb"),
+            num_tasks=30,
+            num_machines=5,
+            instances=8,
+            heterogeneities=(Heterogeneity.HIHI,),
+            consistencies=(Consistency.INCONSISTENT,),
+            seed=1,
+        )
+        by_name = {r.heuristic: r for r in rows}
+        assert by_name["min-min"].mean_makespan < by_name["olb"].mean_makespan
+
+    def test_empty_heuristics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            heuristic_comparison(())
+
+    def test_format_table(self):
+        rows = heuristic_comparison(
+            ("mct", "met"),
+            num_tasks=10,
+            num_machines=3,
+            instances=3,
+            seed=2,
+        )
+        text = format_comparison_table(rows)
+        assert "ETC class" in text and "mct" in text

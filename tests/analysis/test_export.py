@@ -1,0 +1,106 @@
+"""Unit tests for repro.analysis.export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, run_experiment
+from repro.analysis.export import (
+    comparison_rows_to_rows,
+    improvement_rows_to_rows,
+    iterative_result_to_dict,
+    run_records_to_rows,
+    write_csv,
+    write_json,
+)
+from repro.analysis.study import heuristic_comparison, improvement_study
+from repro.core.iterative import IterativeScheduler
+from repro.etc.witness import sufferage_example_etc
+from repro.exceptions import ConfigurationError
+from repro.heuristics import Sufferage
+
+
+@pytest.fixture(scope="module")
+def records():
+    config = ExperimentConfig(
+        heuristics=("mct", "sufferage"),
+        num_tasks=10,
+        num_machines=3,
+        instances_per_cell=3,
+        seed=0,
+    )
+    return run_experiment(config)
+
+
+class TestRowFlattening:
+    def test_run_records(self, records):
+        rows = run_records_to_rows(records)
+        assert len(rows) == len(records)
+        assert {"heuristic", "final_makespan", "mapping_changed"} <= set(rows[0])
+
+    def test_improvement_rows(self):
+        rows = improvement_study(
+            heuristics=("mct",), num_tasks=8, num_machines=3, instances=2,
+            tie_policies=("deterministic",), seed=0,
+        )
+        flat = improvement_rows_to_rows(rows)
+        assert flat[0]["heuristic"] == "mct"
+        assert flat[0]["mapping_change_rate"] == 0.0
+        assert flat[0]["mean_improvement_ci_low"] <= flat[0]["mean_improvement"]
+
+    def test_comparison_rows(self):
+        rows = heuristic_comparison(
+            ("mct", "olb"), num_tasks=8, num_machines=3, instances=2, seed=0,
+        )
+        flat = comparison_rows_to_rows(rows)
+        assert {r["heuristic"] for r in flat} == {"mct", "olb"}
+        assert all(r["normalized"] >= 1.0 for r in flat)
+
+
+class TestIterativeResultDump:
+    def test_full_dump_roundtrips_json(self, tmp_path):
+        result = IterativeScheduler(Sufferage()).run(sufferage_example_etc())
+        doc = iterative_result_to_dict(result)
+        path = tmp_path / "run.json"
+        write_json(doc, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["heuristic"] == "sufferage"
+        assert loaded["makespan_increased"] is True
+        assert loaded["makespans"][:2] == [10.0, 10.5]
+        assert len(loaded["iterations"]) == result.num_iterations
+        first = loaded["iterations"][0]
+        assert set(first["assignments"]) == set(loaded["tasks"])
+
+    def test_dump_contains_frozen_chain(self):
+        result = IterativeScheduler(Sufferage()).run(sufferage_example_etc())
+        doc = iterative_result_to_dict(result)
+        frozen = [it["frozen_machine"] for it in doc["iterations"]]
+        assert frozen == list(doc["removal_order"])[: len(frozen)]
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, tmp_path, records):
+        rows = run_records_to_rows(records)
+        path = tmp_path / "records.csv"
+        write_csv(rows, path)
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert len(back) == len(rows)
+        assert back[0]["heuristic"] == rows[0]["heuristic"]
+
+    def test_csv_union_of_columns(self, tmp_path):
+        path = tmp_path / "x.csv"
+        write_csv([{"a": 1}, {"a": 2, "b": 3}], path)
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert back[1]["b"] == "3"
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv([], tmp_path / "x.csv")
+
+    def test_json_writer(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_json({"k": [1, 2]}, path)
+        assert json.loads(path.read_text()) == {"k": [1, 2]}

@@ -1,0 +1,102 @@
+"""Unit tests for repro.analysis.invariance (E18–E20 machinery)."""
+
+import pytest
+
+from repro.analysis.invariance import (
+    INVARIANT_HEURISTICS,
+    is_iteration_invariant,
+    makespans_monotone,
+    verify_invariance,
+)
+from repro.core.iterative import IterativeScheduler
+from repro.core.ties import RandomTieBreaker
+from repro.etc.generation import Consistency, Heterogeneity, generate_ensemble
+from repro.heuristics import MCT, Sufferage, get_heuristic
+
+
+class TestSingleResultCheckers:
+    def test_invariant_result(self, square_etc):
+        result = IterativeScheduler(MCT()).run(square_etc)
+        assert is_iteration_invariant(result)
+        assert makespans_monotone(result)
+
+    def test_variant_result(self, sufferage_etc):
+        result = IterativeScheduler(Sufferage()).run(sufferage_etc)
+        assert not is_iteration_invariant(result)
+        assert not makespans_monotone(result)
+
+
+class TestEnsembleVerification:
+    @pytest.mark.parametrize("name", INVARIANT_HEURISTICS)
+    def test_theorem_holds_on_ensemble(self, name):
+        report = verify_invariance(
+            name, num_instances=30, num_tasks=20, num_machines=5, rng=0
+        )
+        assert report.invariant, str(report)
+        assert report.makespan_increases == 0
+        assert report.instances_checked == 30
+
+    def test_sufferage_changes_on_ensemble(self):
+        report = verify_invariance(
+            "sufferage", num_instances=30, num_tasks=20, num_machines=5, rng=0
+        )
+        assert not report.invariant
+        assert report.mapping_changes > 0
+        assert 0 < report.change_rate <= 1.0
+
+    def test_violations_captured_with_cap(self):
+        report = verify_invariance(
+            "sufferage",
+            num_instances=30,
+            num_tasks=20,
+            num_machines=5,
+            rng=0,
+            keep_violations=2,
+        )
+        assert len(report.violations) == 2
+        assert "sufferage" in report.violations[0].describe()
+
+    def test_random_ties_break_minmin_invariance(self):
+        """With random tie-breaking, Min-Min mappings *can* change —
+        exercised on instances with integer-valued ETCs so ties occur."""
+        instances = generate_ensemble(
+            40, 12, 4, rng=1, heterogeneity=Heterogeneity.LOLO
+        )
+        # integerise values to force plenty of ties
+        from repro.etc.matrix import ETCMatrix
+
+        instances = [
+            ETCMatrix(ins.values.round().clip(min=1.0)) for ins in instances
+        ]
+        report = verify_invariance(
+            "min-min",
+            instances=instances,
+            tie_breaker=RandomTieBreaker(rng=0),
+        )
+        assert report.mapping_changes > 0
+
+    def test_explicit_instances_override_generation(self, square_etc):
+        report = verify_invariance("mct", instances=[square_etc])
+        assert report.instances_checked == 1
+
+    def test_accepts_heuristic_instance(self, square_etc):
+        report = verify_invariance(MCT(), instances=[square_etc])
+        assert report.heuristic == "mct"
+
+    def test_report_str(self):
+        report = verify_invariance(
+            "mct", num_instances=5, num_tasks=10, num_machines=3, rng=0
+        )
+        assert "mct" in str(report)
+        assert "5 instances" in str(report)
+
+    def test_consistency_classes_pass_through(self):
+        report = verify_invariance(
+            "min-min",
+            num_instances=10,
+            num_tasks=15,
+            num_machines=4,
+            consistency=Consistency.CONSISTENT,
+            rng=2,
+        )
+        assert report.invariant

@@ -1,0 +1,140 @@
+"""Unit tests for the Gantt and table renderers."""
+
+import pytest
+
+from repro.analysis.gantt import GanttBar, gantt_bars, render_gantt
+from repro.analysis.tables import (
+    render_allocation_table,
+    render_comparison,
+    render_etc_table,
+    render_finish_times,
+    render_iteration_overview,
+    render_kpb_table,
+    render_sufferage_table,
+    render_swa_table,
+)
+from repro.core.iterative import IterativeScheduler
+from repro.core.metrics import compare_iterative
+from repro.core.schedule import Mapping
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+from repro.heuristics import (
+    KPercentBest,
+    MCT,
+    Sufferage,
+    SwitchingAlgorithm,
+)
+from repro.sim.hcsystem import HCSystem
+
+
+@pytest.fixture
+def mapping(mct_met_etc):
+    return MCT().map_tasks(mct_met_etc)
+
+
+class TestGantt:
+    def test_bars_from_mapping(self, mapping):
+        bars = gantt_bars(mapping)
+        assert len(bars) == 4
+        assert all(isinstance(b, GanttBar) for b in bars)
+
+    def test_bars_from_trace(self, mct_met_etc, mapping):
+        trace = HCSystem(mct_met_etc).execute(mapping)
+        bars = gantt_bars(trace)
+        assert {b.task for b in bars} == set(mct_met_etc.tasks)
+
+    def test_bars_reject_other_types(self):
+        with pytest.raises(ConfigurationError):
+            gantt_bars("nope")
+
+    def test_render_contains_all_rows(self, mapping):
+        text = render_gantt(mapping)
+        for machine in mapping.machines:
+            assert machine in text
+
+    def test_render_labels_tasks(self, mapping):
+        text = render_gantt(mapping, width=60)
+        assert "t1" in text
+
+    def test_render_scale_line(self, mapping):
+        text = render_gantt(mapping, width=40)
+        assert "+" + "-" * 40 in text
+        assert text.strip().endswith("4")  # horizon = makespan 4
+
+    def test_render_no_scale(self, mapping):
+        text = render_gantt(mapping, show_scale=False)
+        assert "+--" not in text
+
+    def test_width_validation(self, mapping):
+        with pytest.raises(ConfigurationError):
+            render_gantt(mapping, width=3)
+
+    def test_empty_mapping_renders_idle(self, tiny_etc):
+        text = render_gantt(Mapping(tiny_etc))
+        assert "(idle)" in text
+
+    def test_bar_positions_scale(self):
+        etc = ETCMatrix([[5.0, 9.0], [5.0, 9.0]])
+        m = Mapping(etc)
+        m.assign("t0", "m0")
+        m.assign("t1", "m0")
+        text = render_gantt(m, width=20, show_scale=False)
+        row = next(line for line in text.splitlines() if line.startswith("m0"))
+        # second bar starts at the midpoint of the row
+        assert row.index("t1") > row.index("t0")
+
+
+class TestTables:
+    def test_etc_table(self, mct_met_etc):
+        text = render_etc_table(mct_met_etc, title="Table 4")
+        assert text.startswith("Table 4")
+        assert "m3" in text
+
+    def test_allocation_table_rows(self, mapping):
+        text = render_allocation_table(mapping)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 4  # header + rule + one row per task
+        assert "m1 CT" in lines[0]
+
+    def test_allocation_table_respects_initial_ready(self, mct_met_etc):
+        m = Mapping(mct_met_etc, {"m1": 2.0})
+        m.assign("t1", "m1")
+        text = render_allocation_table(m)
+        assert "6" in text  # 2 + 4
+
+    def test_swa_table_renders_x_for_nan(self, swa_etc):
+        swa = SwitchingAlgorithm(low=0.40, high=0.49)
+        swa.map_tasks(swa_etc)
+        text = render_swa_table(swa.last_trace, swa_etc.machines)
+        first_row = text.splitlines()[2]
+        assert " x" in first_row
+        assert "MCT" in first_row
+
+    def test_kpb_table_lists_subsets(self, kpb_etc):
+        kpb = KPercentBest(percent=70.0)
+        kpb.map_tasks(kpb_etc)
+        text = render_kpb_table(kpb.last_trace, kpb_etc.machines)
+        assert "{m1, m2}" in text
+
+    def test_sufferage_table_outcomes(self, sufferage_etc):
+        s = Sufferage()
+        s.map_tasks(sufferage_etc)
+        text = render_sufferage_table(s.last_trace)
+        assert "claimed" in text
+        assert "sufferage" in text.splitlines()[0]
+
+    def test_finish_times_flags_makespan(self, mapping):
+        text = render_finish_times(mapping)
+        assert "<- makespan" in text
+
+    def test_comparison_marks_increase(self, sufferage_etc):
+        result = IterativeScheduler(Sufferage()).run(sufferage_etc)
+        text = render_comparison(compare_iterative(result))
+        assert "INCREASED" in text
+        assert "10.5" in text
+
+    def test_iteration_overview(self, sufferage_etc):
+        result = IterativeScheduler(Sufferage()).run(sufferage_etc)
+        text = render_iteration_overview(result)
+        assert text.count("\n") >= result.num_iterations
+        assert "frozen" in text

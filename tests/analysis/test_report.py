@@ -1,0 +1,90 @@
+"""Unit tests for the reproduction report generator."""
+
+import pytest
+
+from repro.analysis.report import (
+    ExampleOutcome,
+    build_report,
+    paper_example_outcomes,
+)
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return paper_example_outcomes()
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return build_report(quick=True, seed=0)
+
+
+class TestExampleOutcomes:
+    def test_six_examples(self, outcomes):
+        assert len(outcomes) == 6
+        labels = [o.label for o in outcomes]
+        assert any("Min-Min" in label for label in labels)
+        assert any("Sufferage" in label for label in labels)
+
+    def test_all_match_paper(self, outcomes):
+        for outcome in outcomes:
+            assert outcome.original_ok, outcome.label
+            assert outcome.first_iteration_ok, outcome.label
+            assert outcome.ok, outcome.label
+
+    def test_invariant_examples_have_no_iter_expectation(self, outcomes):
+        by_label = {o.label: o for o in outcomes}
+        assert by_label["MCT (§3.3)"].expected_first_iteration is None
+        assert by_label["SWA (§3.5)"].expected_first_iteration is not None
+
+    def test_mismatch_detection(self, outcomes):
+        """A deliberately wrong expectation must flip the verdict."""
+        import dataclasses
+
+        broken = dataclasses.replace(
+            outcomes[0], expected_original={"m1": 99.0, "m2": 2.0, "m3": 4.0}
+        )
+        assert not broken.original_ok
+        assert not broken.ok
+
+
+class TestReport:
+    def test_no_mismatches(self, quick_report):
+        assert "MISMATCH" not in quick_report
+        assert quick_report.count("| match |") == 6
+
+    def test_sections_present(self, quick_report):
+        for heading in (
+            "# Reproduction report",
+            "## Worked examples",
+            "## Invariance theorems",
+            "## Improvement study",
+            "## Seeding extension",
+            "## Cross-heuristic comparison",
+            "## Appendix — witness matrices",
+        ):
+            assert heading in quick_report
+
+    def test_theorem_lines_report_zero_changes(self, quick_report):
+        for name in ("min-min", "mct", "met"):
+            assert f"{name}: 5 instances, 0 mapping changes" in quick_report
+
+    def test_seeding_lines_show_cure(self, quick_report):
+        assert "sufferage: plain makespans (10.0, 10.5, 8.5)" in quick_report
+
+    def test_deterministic_across_builds(self):
+        assert build_report(quick=True, seed=3) == build_report(quick=True, seed=3)
+
+
+class TestReportCLI:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert cli_main(["report", "--quick", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "MISMATCH" not in text
+
+    def test_stdout_mode(self, capsys):
+        assert cli_main(["report", "--quick"]) == 0
+        assert "# Reproduction report" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Unit tests for the ETC-uncertainty robustness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    makespan_degradation,
+    perturbed_finish_times,
+    robustness_radius,
+)
+from repro.core.schedule import Mapping
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+from repro.heuristics import MCT, MinMin
+
+
+@pytest.fixture
+def mapping(square_etc):
+    return MCT().map_tasks(square_etc)
+
+
+class TestPerturbedFinishTimes:
+    def test_zero_error_reproduces_estimates(self, mapping):
+        finish = perturbed_finish_times(mapping, np.zeros(4))
+        assert np.allclose(finish, mapping.finish_time_vector())
+
+    def test_uniform_inflation_scales_loads(self, square_etc):
+        mapping = MCT().map_tasks(square_etc)
+        finish = perturbed_finish_times(mapping, np.full(4, 0.5))
+        assert np.allclose(finish, 1.5 * mapping.finish_time_vector())
+
+    def test_single_task_error_hits_only_its_machine(self, square_etc):
+        mapping = MCT().map_tasks(square_etc)
+        errors = np.zeros(4)
+        errors[0] = 1.0  # t0 doubles
+        finish = perturbed_finish_times(mapping, errors)
+        target = square_etc.machine_index(mapping.machine_of("t0"))
+        baseline = mapping.finish_time_vector()
+        for j in range(4):
+            if j == target:
+                assert finish[j] > baseline[j]
+            else:
+                assert finish[j] == pytest.approx(baseline[j])
+
+    def test_respects_initial_ready(self):
+        etc = ETCMatrix([[2.0, 9.0]])
+        m = Mapping(etc, {"m0": 5.0})
+        m.assign("t0", "m0")
+        finish = perturbed_finish_times(m, np.array([1.0]))
+        assert finish[0] == pytest.approx(5.0 + 4.0)
+
+    def test_validation(self, mapping):
+        with pytest.raises(ConfigurationError):
+            perturbed_finish_times(mapping, np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            perturbed_finish_times(mapping, np.full(4, -1.0))
+
+
+class TestRobustnessRadius:
+    def test_closed_form_matches_definition(self, square_etc):
+        """The radius is exactly the error level at which the binding
+        machine hits the tolerance bound."""
+        mapping = MinMin().map_tasks(square_etc)
+        radius = robustness_radius(mapping, tolerance=1.2)
+        worst = perturbed_finish_times(mapping, np.full(4, radius)).max()
+        assert worst == pytest.approx(1.2 * mapping.makespan())
+        slightly_more = perturbed_finish_times(
+            mapping, np.full(4, radius + 1e-6)
+        ).max()
+        assert slightly_more > 1.2 * mapping.makespan()
+
+    def test_larger_tolerance_gives_larger_radius(self, mapping):
+        assert robustness_radius(mapping, 1.5) > robustness_radius(mapping, 1.1)
+
+    def test_own_makespan_radius_is_tolerance_slack_at_zero_ready(self):
+        """Against its own makespan every zero-ready mapping's binding
+        machine is the makespan machine, so the radius is tolerance-1."""
+        etc = ETCMatrix([[1.0, 1.1], [1.0, 1.1], [1.0, 1.1], [1.0, 1.1]])
+        mapping = MCT().map_tasks(etc)
+        assert robustness_radius(mapping, 1.2) == pytest.approx(0.2)
+
+    def test_balanced_mapping_more_robust_against_shared_deadline(self):
+        etc = ETCMatrix([[1.0, 1.1], [1.0, 1.1], [1.0, 1.1], [1.0, 1.1]])
+        balanced = MCT().map_tasks(etc)
+        lopsided = Mapping(etc)
+        for t in etc.tasks:
+            lopsided.assign(t, "m0")
+        deadline = 4.2  # common absolute bound
+        assert robustness_radius(balanced, bound=deadline) > robustness_radius(
+            lopsided, bound=deadline
+        )
+
+    def test_bound_already_violated_gives_negative_radius(self):
+        etc = ETCMatrix([[4.0, 9.0]])
+        m = Mapping(etc)
+        m.assign("t0", "m0")
+        assert robustness_radius(m, bound=2.0) < 0.0
+
+    def test_bound_validation(self, mapping):
+        with pytest.raises(ConfigurationError):
+            robustness_radius(mapping, bound=0.0)
+
+    def test_validation(self, mapping, square_etc):
+        with pytest.raises(ConfigurationError):
+            robustness_radius(mapping, tolerance=1.0)
+        with pytest.raises(ConfigurationError):
+            robustness_radius(Mapping(square_etc))  # incomplete
+
+    def test_idle_machines_ignored(self):
+        etc = ETCMatrix([[1.0, 50.0]])
+        m = Mapping(etc)
+        m.assign("t0", "m0")
+        assert np.isfinite(robustness_radius(m))
+
+
+class TestDegradation:
+    def test_summary_fields(self):
+        etc = generate_range_based(20, 5, rng=0)
+        mapping = MinMin().map_tasks(etc)
+        summary = makespan_degradation(mapping, error_cv=0.2, samples=100, rng=1)
+        assert summary.estimated_makespan == pytest.approx(mapping.makespan())
+        assert summary.worst_realised >= summary.mean_realised
+        assert 0.0 <= summary.violation_rate <= 1.0
+        assert summary.mean_degradation > 0.9
+
+    def test_reproducible(self, mapping):
+        a = makespan_degradation(mapping, samples=50, rng=7)
+        b = makespan_degradation(mapping, samples=50, rng=7)
+        assert a == b
+
+    def test_more_noise_more_degradation(self):
+        etc = generate_range_based(20, 5, rng=2)
+        mapping = MinMin().map_tasks(etc)
+        calm = makespan_degradation(mapping, error_cv=0.05, samples=150, rng=3)
+        wild = makespan_degradation(mapping, error_cv=0.5, samples=150, rng=3)
+        assert wild.worst_realised > calm.worst_realised
+
+    def test_validation(self, mapping):
+        with pytest.raises(ConfigurationError):
+            makespan_degradation(mapping, error_cv=0.0)
+        with pytest.raises(ConfigurationError):
+            makespan_degradation(mapping, samples=0)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    proportion_ci,
+    summarize,
+    _normal_quantile,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.ci_low < 2.0 < s.ci_high
+
+    def test_singleton(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_ci_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(size=20))
+        large = summarize(rng.normal(size=2000))
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestBootstrap:
+    def test_contains_mean_usually(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(loc=10.0, size=200)
+        lo, hi = bootstrap_ci(sample, rng=0)
+        assert lo < 10.0 < hi
+
+    def test_degenerate_sample(self):
+        lo, hi = bootstrap_ci([4.0, 4.0, 4.0], rng=0)
+        assert lo == hi == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], level=1.5)
+
+    def test_reproducible(self):
+        sample = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_ci(sample, rng=3) == bootstrap_ci(sample, rng=3)
+
+
+class TestProportion:
+    def test_half(self):
+        lo, hi = proportion_ci(50, 100)
+        assert lo < 0.5 < hi
+        assert 0.39 < lo < 0.45
+        assert 0.55 < hi < 0.61
+
+    def test_extremes_clamped(self):
+        lo, hi = proportion_ci(0, 10)
+        assert lo == 0.0
+        lo2, hi2 = proportion_ci(10, 10)
+        assert hi2 == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            proportion_ci(1, 0)
+        with pytest.raises(ConfigurationError):
+            proportion_ci(5, 3)
+        with pytest.raises(ConfigurationError):
+            proportion_ci(1, 10, level=2.0)
+
+    def test_other_level(self):
+        lo95, hi95 = proportion_ci(30, 100, level=0.95)
+        lo99, hi99 = proportion_ci(30, 100, level=0.99)
+        assert lo99 < lo95 and hi99 > hi95
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "q,expected",
+        [(0.5, 0.0), (0.975, 1.959964), (0.025, -1.959964), (0.995, 2.575829)],
+    )
+    def test_known_values(self, q, expected):
+        assert _normal_quantile(q) == pytest.approx(expected, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _normal_quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            _normal_quantile(1.0)

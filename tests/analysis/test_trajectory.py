@@ -1,0 +1,88 @@
+"""Unit tests for repro.analysis.trajectory."""
+
+import pytest
+
+from repro.analysis.trajectory import (
+    render_series,
+    sparkline,
+    trajectory_of,
+)
+from repro.core.iterative import IterativeScheduler
+from repro.etc.generation import generate_range_based
+from repro.etc.witness import sufferage_example_etc
+from repro.exceptions import ConfigurationError
+from repro.heuristics import MCT, Sufferage
+
+
+class TestTrajectory:
+    def test_series_lengths_match(self):
+        etc = generate_range_based(15, 4, rng=0)
+        result = IterativeScheduler(Sufferage()).run(etc)
+        traj = trajectory_of(result)
+        n = traj.num_iterations
+        assert n == result.num_iterations
+        assert len(traj.average_finishes) == n
+        assert len(traj.machines_remaining) == n
+        assert len(traj.tasks_remaining) == n
+
+    def test_machines_strictly_decreasing(self):
+        etc = generate_range_based(20, 5, rng=1)
+        traj = trajectory_of(IterativeScheduler(MCT()).run(etc))
+        diffs = [
+            b - a
+            for a, b in zip(traj.machines_remaining, traj.machines_remaining[1:])
+        ]
+        assert all(d == -1 for d in diffs)
+
+    def test_monotone_flags(self):
+        etc = generate_range_based(15, 4, rng=2)
+        assert trajectory_of(IterativeScheduler(MCT()).run(etc)).monotone()
+        suff = trajectory_of(
+            IterativeScheduler(Sufferage()).run(sufferage_example_etc())
+        )
+        assert not suff.monotone()
+
+    def test_heuristic_label(self):
+        etc = generate_range_based(8, 3, rng=3)
+        traj = trajectory_of(IterativeScheduler(Sufferage()).run(etc))
+        assert traj.heuristic == "sufferage"
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"
+
+    def test_extremes(self):
+        line = sparkline([0.0, 10.0])
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestRenderSeries:
+    def test_contains_all_columns(self):
+        text = render_series([1, 5, 3, 2], label="demo")
+        assert text.startswith("demo")
+        body = [line for line in text.splitlines() if "|" in line]
+        assert all(len(line.split("|", 1)[1]) <= 4 for line in body)
+        assert text.count("*") == 4
+
+    def test_resamples_long_series(self):
+        text = render_series(list(range(200)), width=40)
+        body = [line for line in text.splitlines() if "|" in line]
+        assert all(len(line.split("|", 1)[1]) <= 40 for line in body)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_series([])
+        with pytest.raises(ConfigurationError):
+            render_series([1.0], width=1)
+
+    def test_axis_labels_present(self):
+        text = render_series([1.0, 2.0, 4.0])
+        assert "4" in text  # max label rendered on the top row

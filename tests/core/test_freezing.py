@@ -1,0 +1,89 @@
+"""Unit tests for the pluggable freeze policies."""
+
+import pytest
+
+from repro.core.freezing import (
+    FREEZE_POLICIES,
+    earliest_finish_policy,
+    makespan_machine_policy,
+    most_loaded_policy,
+)
+from repro.core.iterative import IterativeScheduler
+from repro.core.schedule import Mapping
+from repro.core.ties import DeterministicTieBreaker
+from repro.core.validation import validate_iterative_result
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import MCT, Sufferage
+
+
+@pytest.fixture
+def mapping():
+    # m0 finish 5; m1 finish 3 (initial 2 + 1 work); m2 finish 2 (idle)
+    etc = ETCMatrix(
+        [[5.0, 9.0, 9.0], [9.0, 1.0, 9.0]],
+        tasks=("a", "b"),
+        machines=("m0", "m1", "m2"),
+    )
+    m = Mapping(etc, {"m1": 2.0, "m2": 2.0})
+    m.assign("a", "m0")
+    m.assign("b", "m1")
+    return m
+
+
+class TestPolicies:
+    def test_makespan_policy(self, mapping):
+        assert makespan_machine_policy(mapping, DeterministicTieBreaker()) == "m0"
+
+    def test_earliest_finish_policy(self, mapping):
+        assert earliest_finish_policy(mapping, DeterministicTieBreaker()) == "m2"
+
+    def test_most_loaded_differs_from_makespan_with_ready_times(self, mapping):
+        # loads: m0 = 5, m1 = 1, m2 = 0 -> same as makespan here; flip
+        # ready times to separate them
+        etc = mapping.etc
+        m = Mapping(etc, {"m0": 4.0})
+        m.assign("a", "m0")   # finish 9, load 5
+        m.assign("b", "m1")   # finish 1, load 1
+        assert makespan_machine_policy(m, DeterministicTieBreaker()) == "m0"
+        assert most_loaded_policy(m, DeterministicTieBreaker()) == "m0"
+        m2 = Mapping(etc, {"m1": 8.5})
+        m2.assign("a", "m0")  # finish 5, load 5
+        m2.assign("b", "m1")  # finish 9.5, load 1
+        assert makespan_machine_policy(m2, DeterministicTieBreaker()) == "m1"
+        assert most_loaded_policy(m2, DeterministicTieBreaker()) == "m0"
+
+    def test_registry_contains_all(self):
+        assert set(FREEZE_POLICIES) == {"makespan", "earliest-finish", "most-loaded"}
+
+
+class TestSchedulerIntegration:
+    def test_default_is_paper_rule(self, square_etc):
+        default = IterativeScheduler(MCT()).run(square_etc)
+        explicit = IterativeScheduler(
+            MCT(), freeze_policy=makespan_machine_policy
+        ).run(square_etc)
+        assert default.removal_order == explicit.removal_order
+        assert default.final_finish_times == explicit.final_finish_times
+
+    def test_earliest_finish_freezes_different_order(self):
+        etc = generate_range_based(12, 4, rng=0)
+        paper = IterativeScheduler(Sufferage()).run(etc)
+        dual = IterativeScheduler(
+            Sufferage(), freeze_policy=earliest_finish_policy
+        ).run(etc)
+        assert paper.removal_order != dual.removal_order
+        validate_iterative_result(dual)
+
+    def test_all_policies_produce_valid_runs(self):
+        etc = generate_range_based(10, 3, rng=1)
+        for policy in FREEZE_POLICIES.values():
+            result = IterativeScheduler(Sufferage(), freeze_policy=policy).run(etc)
+            validate_iterative_result(result)
+            assert set(result.final_finish_times) == set(etc.machines)
+
+    def test_zero_ready_most_loaded_equals_makespan(self):
+        etc = generate_range_based(10, 3, rng=2)
+        a = IterativeScheduler(MCT(), freeze_policy=most_loaded_policy).run(etc)
+        b = IterativeScheduler(MCT()).run(etc)
+        assert a.removal_order == b.removal_order

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.metrics import (
+    average_finish_time,
+    compare_iterative,
+    finish_time_vector,
+    makespan,
+    total_finish_time,
+)
+from repro.core.schedule import Mapping
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import MCT, Sufferage
+
+
+@pytest.fixture
+def mapping(tiny_etc):
+    m = Mapping(tiny_etc)
+    m.assign("a", "x")  # x finishes at 1
+    m.assign("b", "y")  # y finishes at 2
+    return m
+
+
+class TestScalars:
+    def test_makespan(self, mapping):
+        assert makespan(mapping) == 2.0
+
+    def test_average(self, mapping):
+        assert average_finish_time(mapping) == 1.5
+
+    def test_total(self, mapping):
+        assert total_finish_time(mapping) == 3.0
+
+    def test_vector_is_copy(self, mapping):
+        vec = finish_time_vector(mapping)
+        vec[0] = 99.0
+        assert finish_time_vector(mapping)[0] == 1.0
+
+
+class TestComparison:
+    def test_invariant_heuristic_all_zero_delta(self, square_etc):
+        result = IterativeScheduler(MCT()).run(square_etc)
+        comp = compare_iterative(result)
+        assert comp.num_improved == 0
+        assert comp.num_worsened == 0
+        assert comp.num_unchanged == len(square_etc.machines)
+        assert comp.mean_delta == pytest.approx(0.0)
+        assert not comp.mapping_changed
+        assert not comp.makespan_increased
+
+    def test_sufferage_example_comparison(self, sufferage_etc):
+        result = IterativeScheduler(Sufferage()).run(sufferage_etc)
+        comp = compare_iterative(result)
+        by_machine = {m.machine: m for m in comp.machines}
+        # paper values: m1 frozen at 10; m2 9.5 -> 10.5; m3 9.5 -> 8.5
+        assert by_machine["m1"].delta == pytest.approx(0.0)
+        assert by_machine["m2"].delta == pytest.approx(-1.0)
+        assert by_machine["m3"].delta == pytest.approx(1.0)
+        assert by_machine["m2"].worsened
+        assert by_machine["m3"].improved
+        assert comp.makespan_increased
+        assert comp.final_makespan == pytest.approx(10.5)
+        assert comp.original_makespan == pytest.approx(10.0)
+
+    def test_counts_consistent(self, sufferage_etc):
+        comp = compare_iterative(IterativeScheduler(Sufferage()).run(sufferage_etc))
+        assert comp.num_improved + comp.num_worsened + comp.num_unchanged == len(
+            comp.machines
+        )
+
+    def test_averages(self, sufferage_etc):
+        comp = compare_iterative(IterativeScheduler(Sufferage()).run(sufferage_etc))
+        assert comp.average_finish_original == pytest.approx((10 + 9.5 + 9.5) / 3)
+        assert comp.average_finish_iterative == pytest.approx((10 + 10.5 + 8.5) / 3)
+
+    def test_machine_comparison_flags(self):
+        from repro.core.metrics import MachineComparison
+
+        same = MachineComparison("m", 5.0, 5.0)
+        assert not same.improved and not same.worsened
+        better = MachineComparison("m", 5.0, 4.0)
+        assert better.improved and better.delta == pytest.approx(1.0)
+        worse = MachineComparison("m", 5.0, 6.0)
+        assert worse.worsened
+
+
+def test_metrics_on_single_machine():
+    etc = ETCMatrix([[2.0], [3.0]])
+    m = Mapping(etc)
+    m.assign("t0", "m0")
+    m.assign("t1", "m0")
+    assert makespan(m) == average_finish_time(m) == total_finish_time(m) == 5.0

@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.seeding (the conclusion's extension)."""
+
+import pytest
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.seeding import SeededIterativeScheduler, replay_mapping
+from repro.core.ties import RandomTieBreaker
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.etc.witness import (
+    KPB_EXAMPLE_PERCENT,
+    kpb_example_etc,
+    sufferage_example_etc,
+    swa_example_etc,
+)
+from repro.heuristics import (
+    KPercentBest,
+    MCT,
+    MinMin,
+    Sufferage,
+    SwitchingAlgorithm,
+)
+
+
+class TestReplayMapping:
+    def test_replays_assignments(self, tiny_etc):
+        mapping = replay_mapping(tiny_etc, None, {"a": "y", "b": "x"})
+        assert mapping.machine_of("a") == "y"
+        assert mapping.machine_of("b") == "x"
+        assert mapping.is_complete()
+
+    def test_respects_ready_times(self, tiny_etc):
+        mapping = replay_mapping(tiny_etc, [2.0, 0.0], {"a": "x", "b": "x"})
+        assert mapping.machine_finish_times()["x"] == 2.0 + 1.0 + 3.0
+
+
+class TestMonotonicity:
+    def test_sufferage_example_no_longer_increases(self, sufferage_etc):
+        """The paper's Sufferage counterexample is cured by seeding."""
+        plain = IterativeScheduler(Sufferage()).run(sufferage_etc)
+        assert plain.makespan_increased()
+        seeded = SeededIterativeScheduler(Sufferage()).run(sufferage_etc)
+        assert not seeded.makespan_increased()
+
+    def test_kpb_example_no_longer_increases(self):
+        etc = kpb_example_etc()
+        kpb = KPercentBest(percent=KPB_EXAMPLE_PERCENT)
+        assert IterativeScheduler(kpb).run(etc).makespan_increased()
+        assert not SeededIterativeScheduler(kpb).run(etc).makespan_increased()
+
+    def test_swa_example_no_longer_increases(self):
+        etc = swa_example_etc()
+        swa = SwitchingAlgorithm(low=0.40, high=0.49)
+        assert IterativeScheduler(swa).run(etc).makespan_increased()
+        assert not SeededIterativeScheduler(swa).run(etc).makespan_increased()
+
+    @pytest.mark.parametrize("name_cls", [Sufferage, MCT, MinMin])
+    def test_monotone_on_random_ensemble(self, name_cls):
+        for seed in range(5):
+            etc = generate_range_based(20, 6, rng=seed)
+            result = SeededIterativeScheduler(name_cls()).run(etc)
+            spans = result.makespans()
+            assert all(b <= a + 1e-9 for a, b in zip(spans, spans[1:]))
+
+    def test_monotone_even_with_random_ties(self):
+        for seed in range(5):
+            etc = generate_range_based(20, 6, rng=seed)
+            result = SeededIterativeScheduler(
+                MCT(), tie_breaker=RandomTieBreaker(rng=seed)
+            ).run(etc)
+            assert not result.makespan_increased()
+
+
+class TestIncumbentSemantics:
+    def test_ties_keep_incumbent(self):
+        """When the fresh mapping equals the incumbent in makespan, the
+        incumbent's assignments are kept (no gratuitous churn)."""
+        etc = generate_range_based(15, 4, rng=3)
+        result = SeededIterativeScheduler(MinMin()).run(etc)
+        # Min-Min is iteration-invariant; with seeding the incumbent is
+        # identical to the fresh mapping, so nothing may change.
+        assert not result.mapping_changed()
+
+    def test_improvement_still_allowed(self, sufferage_etc):
+        """Seeding must not freeze the mapping when a strictly better
+        one exists."""
+        seeded = SeededIterativeScheduler(Sufferage()).run(sufferage_etc)
+        plain = IterativeScheduler(Sufferage()).run(sufferage_etc)
+        final_seeded = max(seeded.final_finish_times.values())
+        final_plain = max(plain.final_finish_times.values())
+        assert final_seeded <= final_plain + 1e-9
+
+    def test_first_iteration_is_heuristic_output(self, square_etc):
+        plain = IterativeScheduler(Sufferage()).run(square_etc)
+        seeded = SeededIterativeScheduler(Sufferage()).run(square_etc)
+        assert plain.original.mapping.to_dict() == seeded.original.mapping.to_dict()
+
+
+def test_seeded_never_worse_per_machine_at_freeze_time():
+    """At each iteration the frozen machine's finishing time under
+    seeding is <= the plain scheduler's frozen finishing time ordering
+    guarantee: makespans are monotone, so each frozen CT is bounded by
+    the previous one."""
+    etc = ETCMatrix(generate_range_based(12, 4, rng=11).values)
+    result = SeededIterativeScheduler(Sufferage()).run(etc)
+    frozen_cts = [
+        rec.mapping.ready_time(rec.frozen_machine) for rec in result.iterations
+    ]
+    assert all(b <= a + 1e-9 for a, b in zip(frozen_cts, frozen_cts[1:]))

@@ -1,0 +1,150 @@
+"""Unit tests for repro.core.ties."""
+
+import numpy as np
+import pytest
+
+from repro.core.ties import (
+    DeterministicTieBreaker,
+    RandomTieBreaker,
+    ScriptedTieBreaker,
+    make_tie_breaker,
+    tied_argmax,
+    tied_argmin,
+    tied_indices,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTiedIndices:
+    def test_exact_ties(self):
+        assert tied_indices([1.0, 2.0, 1.0], 1.0).tolist() == [0, 2]
+
+    def test_tolerance_relative(self):
+        vals = [1.0, 1.0 + 1e-12, 2.0]
+        assert tied_indices(vals, 1.0).tolist() == [0, 1]
+
+    def test_no_match(self):
+        assert tied_indices([1.0, 2.0], 5.0).tolist() == []
+
+    def test_argmin_single(self):
+        assert tied_argmin([3.0, 1.0, 2.0]).tolist() == [1]
+
+    def test_argmin_multiple(self):
+        assert tied_argmin([1.0, 1.0, 2.0]).tolist() == [0, 1]
+
+    def test_argmax(self):
+        assert tied_argmax([1.0, 3.0, 3.0]).tolist() == [1, 2]
+
+    def test_argmin_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            tied_argmin([])
+
+    def test_argmax_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            tied_argmax(np.array([]))
+
+    def test_large_magnitude_relative_ties(self):
+        big = 1e12
+        assert tied_argmin([big, big * (1 + 1e-12), big * 2]).tolist() == [0, 1]
+
+
+class TestDeterministic:
+    def test_lowest_index(self):
+        tb = DeterministicTieBreaker()
+        assert tb.choose([5, 2, 9]) == 2
+
+    def test_argmin_ties_to_lowest(self):
+        tb = DeterministicTieBreaker()
+        assert tb.argmin([2.0, 1.0, 1.0]) == 1
+
+    def test_argmax_ties_to_lowest(self):
+        tb = DeterministicTieBreaker()
+        assert tb.argmax([3.0, 3.0, 1.0]) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicTieBreaker().choose([])
+
+    def test_flag(self):
+        assert DeterministicTieBreaker().deterministic is True
+
+    def test_repeatable(self):
+        tb = DeterministicTieBreaker()
+        picks = {tb.choose([3, 7]) for _ in range(20)}
+        assert picks == {3}
+
+
+class TestRandom:
+    def test_seeded_reproducible(self):
+        a = RandomTieBreaker(rng=0)
+        b = RandomTieBreaker(rng=0)
+        seq_a = [a.choose([0, 1, 2]) for _ in range(50)]
+        seq_b = [b.choose([0, 1, 2]) for _ in range(50)]
+        assert seq_a == seq_b
+
+    def test_covers_all_candidates(self):
+        tb = RandomTieBreaker(rng=1)
+        picks = {tb.choose([4, 9]) for _ in range(200)}
+        assert picks == {4, 9}
+
+    def test_roughly_uniform(self):
+        tb = RandomTieBreaker(rng=2)
+        picks = [tb.choose([0, 1]) for _ in range(2000)]
+        frac = sum(picks) / len(picks)
+        assert 0.4 < frac < 0.6
+
+    def test_singleton_short_circuits_rng(self):
+        tb = RandomTieBreaker(rng=3)
+        state_before = tb.rng.bit_generator.state["state"]
+        assert tb.choose([7]) == 7
+        assert tb.rng.bit_generator.state["state"] == state_before
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            RandomTieBreaker(rng=0).choose([])
+
+    def test_flag(self):
+        assert RandomTieBreaker(rng=0).deterministic is False
+
+
+class TestScripted:
+    def test_replays_script_on_genuine_ties(self):
+        tb = ScriptedTieBreaker([2, 0])
+        assert tb.choose([0, 2]) == 2
+        assert tb.choose([0, 1]) == 0
+        assert tb.consumed == 2
+
+    def test_singleton_does_not_consume(self):
+        tb = ScriptedTieBreaker([1])
+        assert tb.choose([5]) == 5
+        assert tb.consumed == 0
+
+    def test_exhausted_falls_back_to_lowest(self):
+        tb = ScriptedTieBreaker([])
+        assert tb.choose([3, 1]) == 1
+
+    def test_invalid_scripted_choice(self):
+        tb = ScriptedTieBreaker([9])
+        with pytest.raises(ConfigurationError):
+            tb.choose([0, 1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedTieBreaker([]).choose([])
+
+
+class TestFactory:
+    def test_deterministic_spec(self):
+        assert isinstance(make_tie_breaker("deterministic"), DeterministicTieBreaker)
+
+    def test_random_spec_uses_rng(self):
+        tb = make_tie_breaker("random", rng=0)
+        assert isinstance(tb, RandomTieBreaker)
+
+    def test_passthrough(self):
+        original = DeterministicTieBreaker()
+        assert make_tie_breaker(original) is original
+
+    def test_unknown_spec(self):
+        with pytest.raises(ConfigurationError):
+            make_tie_breaker("coin-flip")

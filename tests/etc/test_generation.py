@@ -1,0 +1,160 @@
+"""Unit tests for repro.etc.generation."""
+
+import numpy as np
+import pytest
+
+from repro.etc.generation import (
+    Consistency,
+    CVBParams,
+    HETEROGENEITY_CVB,
+    HETEROGENEITY_RANGES,
+    Heterogeneity,
+    RangeBasedParams,
+    apply_consistency,
+    generate_cvb,
+    generate_ensemble,
+    generate_range_based,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestParams:
+    def test_range_params_validate(self):
+        with pytest.raises(ConfigurationError):
+            RangeBasedParams(task_range=1.0, machine_range=10.0)
+        with pytest.raises(ConfigurationError):
+            RangeBasedParams(task_range=10.0, machine_range=0.5)
+
+    def test_cvb_params_validate(self):
+        with pytest.raises(ConfigurationError):
+            CVBParams(mean_task=-1.0)
+        with pytest.raises(ConfigurationError):
+            CVBParams(v_task=0.0)
+        with pytest.raises(ConfigurationError):
+            CVBParams(v_machine=-0.5)
+
+    def test_all_heterogeneity_classes_mapped(self):
+        assert set(HETEROGENEITY_RANGES) == set(Heterogeneity)
+        assert set(HETEROGENEITY_CVB) == set(Heterogeneity)
+
+
+class TestRangeBased:
+    def test_shape_and_positivity(self):
+        etc = generate_range_based(20, 5, rng=0)
+        assert etc.shape == (20, 5)
+        assert np.all(etc.values > 0)
+
+    def test_determinism_by_seed(self):
+        a = generate_range_based(10, 4, rng=42)
+        b = generate_range_based(10, 4, rng=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_range_based(10, 4, rng=1)
+        b = generate_range_based(10, 4, rng=2)
+        assert a != b
+
+    def test_value_bounds(self):
+        params = RangeBasedParams(task_range=10.0, machine_range=5.0)
+        etc = generate_range_based(200, 8, params, rng=0)
+        assert etc.values.max() <= 50.0
+        assert etc.values.min() >= 1.0
+
+    def test_heterogeneity_ordering(self):
+        """hihi instances must spread far wider than lolo ones."""
+        hihi = generate_range_based(300, 8, Heterogeneity.HIHI, rng=0)
+        lolo = generate_range_based(300, 8, Heterogeneity.LOLO, rng=0)
+        assert hihi.values.std() > 10 * lolo.values.std()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            generate_range_based(0, 3)
+        with pytest.raises(ConfigurationError):
+            generate_range_based(3, 0)
+
+    def test_accepts_generator_instance(self):
+        gen = np.random.default_rng(7)
+        etc = generate_range_based(5, 3, rng=gen)
+        assert etc.shape == (5, 3)
+
+
+class TestCVB:
+    def test_shape_and_positivity(self):
+        etc = generate_cvb(20, 5, rng=0)
+        assert etc.shape == (20, 5)
+        assert np.all(etc.values > 0)
+
+    def test_determinism_by_seed(self):
+        assert generate_cvb(10, 4, rng=3) == generate_cvb(10, 4, rng=3)
+
+    def test_mean_close_to_mean_task(self):
+        params = CVBParams(mean_task=1000.0, v_task=0.3, v_machine=0.3)
+        etc = generate_cvb(400, 16, params, rng=0)
+        assert 800 < etc.values.mean() < 1200
+
+    def test_machine_cv_controls_row_spread(self):
+        tight = generate_cvb(200, 10, CVBParams(v_task=0.3, v_machine=0.05), rng=0)
+        wide = generate_cvb(200, 10, CVBParams(v_task=0.3, v_machine=0.9), rng=0)
+        cv = lambda v: (v.std(axis=1) / v.mean(axis=1)).mean()
+        assert cv(wide.values) > 5 * cv(tight.values)
+
+    def test_heterogeneity_enum_accepted(self):
+        etc = generate_cvb(5, 3, Heterogeneity.LOLO, rng=0)
+        assert etc.shape == (5, 3)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            generate_cvb(0, 3)
+
+
+class TestConsistency:
+    def test_consistent_rows_sorted(self):
+        etc = generate_range_based(30, 6, consistency=Consistency.CONSISTENT, rng=0)
+        assert np.all(np.diff(etc.values, axis=1) >= 0)
+
+    def test_semi_consistent_even_columns_sorted(self):
+        etc = generate_range_based(
+            30, 6, consistency=Consistency.SEMI_CONSISTENT, rng=0
+        )
+        even = etc.values[:, 0::2]
+        assert np.all(np.diff(even, axis=1) >= 0)
+
+    def test_inconsistent_untouched(self):
+        raw = np.random.default_rng(0).uniform(1, 10, size=(10, 5))
+        out = apply_consistency(raw, Consistency.INCONSISTENT)
+        assert np.array_equal(raw, out)
+
+    def test_apply_consistency_does_not_mutate_input(self):
+        raw = np.random.default_rng(0).uniform(1, 10, size=(10, 5))
+        copy = raw.copy()
+        apply_consistency(raw, Consistency.CONSISTENT)
+        assert np.array_equal(raw, copy)
+
+    def test_consistency_preserves_multiset_per_row(self):
+        raw = np.random.default_rng(1).uniform(1, 10, size=(8, 5))
+        out = apply_consistency(raw, Consistency.CONSISTENT)
+        assert np.allclose(np.sort(raw, axis=1), out)
+
+
+class TestEnsemble:
+    def test_count_and_independence(self):
+        ensemble = generate_ensemble(5, 10, 3, rng=0)
+        assert len(ensemble) == 5
+        assert len({e.values.tobytes() for e in ensemble}) == 5
+
+    def test_cvb_method(self):
+        ensemble = generate_ensemble(3, 10, 3, method="cvb", rng=0)
+        assert len(ensemble) == 3
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            generate_ensemble(3, 10, 3, method="wat")
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            generate_ensemble(0, 10, 3)
+
+    def test_ensemble_reproducible(self):
+        a = generate_ensemble(4, 6, 3, rng=9)
+        b = generate_ensemble(4, 6, 3, rng=9)
+        assert all(x == y for x, y in zip(a, b))

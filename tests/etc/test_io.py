@@ -1,0 +1,80 @@
+"""Unit tests for repro.etc.io (CSV/JSON round-trips)."""
+
+import pytest
+
+from repro.etc.generation import generate_range_based
+from repro.etc.io import (
+    from_csv,
+    from_json,
+    load_csv,
+    load_json,
+    save_csv,
+    save_json,
+    to_csv,
+    to_json,
+)
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ETCShapeError
+
+
+@pytest.fixture
+def sample():
+    return ETCMatrix(
+        [[1.5, 2.0], [3.25, 4.0]], tasks=("alpha", "beta"), machines=("mx", "my")
+    )
+
+
+class TestCSV:
+    def test_roundtrip_exact(self, sample):
+        assert from_csv(to_csv(sample)) == sample
+
+    def test_roundtrip_random_instance(self):
+        etc = generate_range_based(25, 7, rng=0)
+        assert from_csv(to_csv(etc)) == etc
+
+    def test_header_format(self, sample):
+        first_line = to_csv(sample).splitlines()[0]
+        assert first_line == "task,mx,my"
+
+    def test_hand_written_csv(self):
+        etc = from_csv("task,m1,m2\nt1,1,2\nt2,3,4\n")
+        assert etc.etc("t2", "m1") == 3.0
+
+    def test_bad_header(self):
+        with pytest.raises(ETCShapeError):
+            from_csv("nope,m1\nt1,1\n")
+
+    def test_ragged_row(self):
+        with pytest.raises(ETCShapeError):
+            from_csv("task,m1,m2\nt1,1\n")
+
+    def test_empty(self):
+        with pytest.raises(ETCShapeError):
+            from_csv("")
+
+    def test_file_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "etc.csv"
+        save_csv(sample, path)
+        assert load_csv(path) == sample
+
+
+class TestJSON:
+    def test_roundtrip_exact(self, sample):
+        assert from_json(to_json(sample)) == sample
+
+    def test_roundtrip_random_instance(self):
+        etc = generate_range_based(25, 7, rng=1)
+        assert from_json(to_json(etc)) == etc
+
+    def test_missing_key(self):
+        with pytest.raises(ETCShapeError):
+            from_json('{"tasks": ["a"], "machines": ["m"]}')
+
+    def test_file_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "etc.json"
+        save_json(sample, path)
+        assert load_json(path) == sample
+
+    def test_compact_output(self, sample):
+        text = to_json(sample, indent=None)
+        assert "\n" not in text

@@ -1,0 +1,75 @@
+"""Unit tests for the initial-ready-time generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import ready_time_vector
+from repro.etc.generation import generate_range_based
+from repro.etc.readiness import (
+    busy_fraction_ready_times,
+    uniform_ready_times,
+    zero_ready_times,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def etc():
+    return generate_range_based(12, 4, rng=0)
+
+
+class TestZero:
+    def test_all_zero(self, etc):
+        ready = zero_ready_times(etc)
+        assert set(ready) == set(etc.machines)
+        assert all(v == 0.0 for v in ready.values())
+
+
+class TestUniform:
+    def test_bounds(self, etc):
+        ready = uniform_ready_times(etc, high=10.0, low=2.0, rng=1)
+        assert all(2.0 <= v < 10.0 for v in ready.values())
+
+    def test_seeded_reproducible(self, etc):
+        a = uniform_ready_times(etc, high=5.0, rng=7)
+        b = uniform_ready_times(etc, high=5.0, rng=7)
+        assert a == b
+
+    def test_validation(self, etc):
+        with pytest.raises(ConfigurationError):
+            uniform_ready_times(etc, high=1.0, low=2.0)
+        with pytest.raises(ConfigurationError):
+            uniform_ready_times(etc, high=1.0, low=-1.0)
+
+    def test_accepted_by_schedule(self, etc):
+        ready = uniform_ready_times(etc, high=10.0, rng=0)
+        vec = ready_time_vector(etc, ready)
+        assert vec.shape == (etc.num_machines,)
+
+
+class TestBusyFraction:
+    def test_scales_with_instance_magnitude(self):
+        small = generate_range_based(20, 4, rng=2)
+        ready = busy_fraction_ready_times(small, fraction=0.25, rng=3)
+        mean_load = small.values.mean(axis=1).sum() / small.num_machines
+        assert all(0.0 <= v <= 0.25 * mean_load for v in ready.values())
+
+    def test_zero_fraction_is_zero(self, etc):
+        ready = busy_fraction_ready_times(etc, fraction=0.0, rng=0)
+        assert all(v == 0.0 for v in ready.values())
+
+    def test_validation(self, etc):
+        with pytest.raises(ConfigurationError):
+            busy_fraction_ready_times(etc, fraction=-0.1)
+
+    def test_usable_by_iterative_scheduler(self, etc):
+        from repro.core.iterative import IterativeScheduler
+        from repro.core.validation import validate_iterative_result
+        from repro.heuristics import Sufferage
+
+        ready = busy_fraction_ready_times(etc, fraction=0.5, rng=4)
+        result = IterativeScheduler(Sufferage()).run(etc, ready_times=ready)
+        validate_iterative_result(result)
+        # survivors' final finishing times respect their ready floor:
+        for machine, finish in result.final_finish_times.items():
+            assert finish >= ready[machine] - 1e-9

@@ -1,0 +1,79 @@
+"""Unit tests for the witness matrices (shape/label sanity).
+
+The full behavioural replays of the paper's examples live in
+tests/integration/test_paper_*.py; these tests pin the structural
+facts every witness must satisfy.
+"""
+
+from repro.etc.witness import (
+    KPB_EXAMPLE_PERCENT,
+    SWA_EXAMPLE_HIGH_THRESHOLD,
+    SWA_EXAMPLE_LOW_THRESHOLD,
+    kpb_example_etc,
+    mct_met_example_etc,
+    minmin_example_etc,
+    sufferage_example_etc,
+    swa_example_etc,
+)
+
+
+def test_minmin_shape():
+    etc = minmin_example_etc()
+    assert etc.shape == (4, 3)
+    assert etc.tasks == ("t1", "t2", "t3", "t4")
+    assert etc.machines == ("m1", "m2", "m3")
+
+
+def test_minmin_documented_tie_exists():
+    """t2 must tie at CT 2 between m2 (after t1) and m3 (idle)."""
+    etc = minmin_example_etc()
+    assert etc.etc("t1", "m2") + etc.etc("t2", "m2") == etc.etc("t2", "m3")
+
+
+def test_mct_met_shape():
+    etc = mct_met_example_etc()
+    assert etc.shape == (4, 3)
+
+
+def test_mct_met_documented_tie_exists():
+    """t2 must tie between m2 and m3 on both ETC (MET) and CT (MCT)."""
+    etc = mct_met_example_etc()
+    assert etc.etc("t2", "m2") == etc.etc("t2", "m3")
+
+
+def test_swa_shape_and_thresholds():
+    etc = swa_example_etc()
+    assert etc.shape == (5, 3)
+    assert 4 / 13 < SWA_EXAMPLE_LOW_THRESHOLD < 0.5
+    assert SWA_EXAMPLE_LOW_THRESHOLD < SWA_EXAMPLE_HIGH_THRESHOLD < 0.5
+
+
+def test_kpb_shape_and_percent():
+    etc = kpb_example_etc()
+    assert etc.shape == (5, 3)
+    # floor(3 * 0.7) = 2 machines originally, floor(2 * 0.7) = 1 after.
+    assert int(3 * KPB_EXAMPLE_PERCENT / 100) == 2
+    assert int(2 * KPB_EXAMPLE_PERCENT / 100) == 1
+
+
+def test_sufferage_shape():
+    etc = sufferage_example_etc()
+    assert etc.shape == (9, 3)
+    assert etc.tasks[0] == "t0"  # the paper's figure labels tasks t0..t8
+
+
+def test_witnesses_are_fresh_instances():
+    """Factories must not share mutable state between calls."""
+    assert minmin_example_etc() == minmin_example_etc()
+    assert minmin_example_etc() is not minmin_example_etc()
+
+
+def test_all_witness_values_positive():
+    for factory in (
+        minmin_example_etc,
+        mct_met_example_etc,
+        swa_example_etc,
+        kpb_example_etc,
+        sufferage_example_etc,
+    ):
+        assert (factory().values > 0).all()

@@ -1,0 +1,79 @@
+"""Unit tests for the heuristic base class and registry."""
+
+import pytest
+
+from repro.core.schedule import Mapping
+from repro.core.ties import TieBreaker
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import MappingError, UnknownHeuristicError
+from repro.heuristics import PAPER_HEURISTICS, get_heuristic, heuristic_names
+from repro.heuristics.base import Heuristic
+
+
+class TestRegistry:
+    def test_all_paper_heuristics_registered(self):
+        for name in PAPER_HEURISTICS:
+            assert name in heuristic_names()
+
+    def test_baselines_registered(self):
+        for name in ("olb", "max-min", "duplex", "random"):
+            assert name in heuristic_names()
+
+    def test_get_returns_fresh_instances(self):
+        assert get_heuristic("mct") is not get_heuristic("mct")
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownHeuristicError):
+            get_heuristic("quantum-annealer")
+
+    def test_kwargs_forwarded(self):
+        h = get_heuristic("k-percent-best", percent=50.0)
+        assert h.percent == 50.0
+
+    def test_names_sorted(self):
+        names = heuristic_names()
+        assert list(names) == sorted(names)
+
+
+class _Lazy(Heuristic):
+    """Deliberately broken heuristic that maps nothing."""
+
+    name = "lazy-test-only"
+
+    def _run(self, mapping: Mapping, tie_breaker: TieBreaker, seed_mapping) -> None:
+        return None
+
+
+class TestContract:
+    def test_incomplete_mapping_rejected(self, tiny_etc):
+        with pytest.raises(MappingError):
+            _Lazy().map_tasks(tiny_etc)
+
+    def test_every_heuristic_maps_every_task(self, square_etc):
+        for name in heuristic_names():
+            mapping = get_heuristic(name).map_tasks(square_etc)
+            assert mapping.is_complete(), name
+
+    def test_seed_validation_for_seeding_heuristics(self, square_etc):
+        genitor = get_heuristic("genitor", iterations=5, rng=0)
+        with pytest.raises(MappingError):
+            genitor.map_tasks(square_etc, seed_mapping={"t0": "m0"})  # incomplete
+        bad = {t: "m0" for t in square_etc.tasks} | {"ghost": "m0"}
+        with pytest.raises(MappingError):
+            genitor.map_tasks(square_etc, seed_mapping=bad)
+
+    def test_seed_ignored_by_non_seeding_heuristics(self, square_etc):
+        mct = get_heuristic("mct")
+        seed = {t: "m3" for t in square_etc.tasks}
+        with_seed = mct.map_tasks(square_etc, seed_mapping=seed)
+        without = mct.map_tasks(square_etc)
+        assert with_seed.to_dict() == without.to_dict()
+
+    def test_ready_times_forwarded(self, tiny_etc):
+        mapping = get_heuristic("mct").map_tasks(tiny_etc, {"x": 100.0})
+        # with x busy until 100, both tasks go to y
+        assert mapping.machine_of("a") == "y"
+        assert mapping.machine_of("b") == "y"
+
+    def test_repr(self):
+        assert "MCT" in repr(get_heuristic("mct"))

@@ -1,0 +1,181 @@
+"""Edge-case behaviours across heuristics: degenerate shapes, extreme
+parameters, and interactions the main suites don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.ties import RandomTieBreaker, ScriptedTieBreaker
+from repro.core.validation import validate_mapping
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import (
+    Duplex,
+    Genitor,
+    KPercentBest,
+    MCT,
+    MET,
+    MinMin,
+    OLB,
+    SegmentedMinMin,
+    SimulatedAnnealing,
+    Sufferage,
+    SwitchingAlgorithm,
+    TabuSearch,
+    get_heuristic,
+    heuristic_names,
+)
+
+
+@pytest.fixture
+def single_task():
+    return ETCMatrix([[3.0, 1.0, 2.0]])
+
+
+@pytest.fixture
+def single_machine():
+    return ETCMatrix([[2.0], [4.0], [1.0]])
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("name", sorted(set(heuristic_names()) - {"genitor",
+                             "random", "simulated-annealing", "tabu-search",
+                             "gsa", "branch-and-bound"}))
+    def test_single_task_goes_somewhere_sensible(self, name, single_task):
+        mapping = get_heuristic(name).map_tasks(single_task)
+        assert mapping.is_complete()
+        validate_mapping(mapping)
+
+    @pytest.mark.parametrize("name", ["met", "mct", "min-min", "sufferage",
+                                      "k-percent-best", "switching-algorithm"])
+    def test_single_task_picks_fastest_when_idle(self, name, single_task):
+        """With one task and idle machines every CT-aware heuristic must
+        pick the minimum-ETC machine."""
+        mapping = get_heuristic(name).map_tasks(single_task)
+        assert mapping.machine_of("t0") == "m1"
+
+    @pytest.mark.parametrize(
+        "name", ["met", "mct", "olb", "min-min", "max-min", "duplex",
+                 "sufferage", "k-percent-best", "switching-algorithm",
+                 "segmented-min-min"]
+    )
+    def test_single_machine_is_forced(self, name, single_machine):
+        mapping = get_heuristic(name).map_tasks(single_machine)
+        assert all(
+            mapping.machine_of(t) == "m0" for t in single_machine.tasks
+        )
+        assert mapping.makespan() == 7.0
+
+    def test_one_by_one_instance(self):
+        etc = ETCMatrix([[5.0]])
+        for name in ("mct", "min-min", "sufferage", "olb"):
+            mapping = get_heuristic(name).map_tasks(etc)
+            assert mapping.makespan() == 5.0
+
+    def test_iterative_on_single_machine_is_one_iteration(self, single_machine):
+        result = IterativeScheduler(MCT()).run(single_machine)
+        assert result.num_iterations == 1
+
+
+class TestExtremeParameters:
+    def test_kpb_percent_exactly_at_met_boundary(self):
+        etc = generate_range_based(10, 4, rng=0)
+        met_like = KPercentBest(percent=25.0).map_tasks(etc)
+        assert met_like.to_dict() == MET().map_tasks(etc).to_dict()
+
+    def test_swa_low_zero_never_switches_back(self):
+        """low=0 means BI < low is impossible; once MET, always MET."""
+        etc = generate_range_based(40, 4, rng=1)
+        swa = SwitchingAlgorithm(low=0.0, high=0.3)
+        swa.map_tasks(etc)
+        heuristics = [s.heuristic for s in swa.last_trace]
+        if "met" in heuristics:
+            first_met = heuristics.index("met")
+            assert all(h == "met" for h in heuristics[first_met:])
+
+    def test_segmented_minmin_segments_equal_tasks(self):
+        """One task per segment = largest-key-first greedy placement."""
+        etc = generate_range_based(6, 3, rng=2)
+        mapping = SegmentedMinMin(segments=6).map_tasks(etc)
+        keys = etc.values.mean(axis=1)
+        order = [etc.task_index(a.task) for a in mapping.assignments]
+        assert all(
+            keys[a] >= keys[b] - 1e-12 for a, b in zip(order, order[1:])
+        )
+
+    def test_genitor_population_two(self):
+        etc = generate_range_based(8, 3, rng=3)
+        mapping = Genitor(population_size=2, iterations=50, rng=0).map_tasks(etc)
+        validate_mapping(mapping)
+
+    def test_sa_zero_steps_returns_start(self, square_etc):
+        from repro.core.seeding import replay_mapping
+
+        seed_map = MinMin().map_tasks(square_etc).to_dict()
+        out = SimulatedAnnealing(steps=0, rng=0).map_tasks(
+            square_etc, seed_mapping=seed_map
+        )
+        assert out.to_dict() == seed_map
+
+    def test_tabu_zero_hops_returns_start(self, square_etc):
+        seed_map = MinMin().map_tasks(square_etc).to_dict()
+        out = TabuSearch(max_hops=0, rng=0).map_tasks(
+            square_etc, seed_mapping=seed_map
+        )
+        assert out.to_dict() == seed_map
+
+
+class TestTieInteractions:
+    def test_scripted_breaker_errors_surface(self, square_etc):
+        from repro.exceptions import ConfigurationError
+
+        etc = ETCMatrix([[2.0, 2.0]])
+        with pytest.raises(ConfigurationError):
+            MCT().map_tasks(etc, tie_breaker=ScriptedTieBreaker([5]))
+
+    def test_random_breaker_stream_shared_across_iterations(self):
+        """One seeded stream drives the whole iterative run — replaying
+        with the same seed reproduces it exactly."""
+        etc = ETCMatrix(
+            np.random.default_rng(0).integers(1, 4, size=(8, 3)).astype(float)
+        )
+        runs = [
+            IterativeScheduler(
+                MinMin(), tie_breaker=RandomTieBreaker(rng=123)
+            ).run(etc).final_finish_times
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_duplex_with_random_ties_still_complete(self):
+        etc = generate_range_based(12, 4, rng=4)
+        mapping = Duplex().map_tasks(etc, tie_breaker=RandomTieBreaker(rng=0))
+        assert mapping.is_complete()
+
+    def test_olb_tie_on_equal_ready_goes_low_index(self):
+        etc = ETCMatrix([[1.0, 1.0], [1.0, 1.0]])
+        mapping = OLB().map_tasks(etc)
+        assert mapping.machine_of("t0") == "m0"
+        assert mapping.machine_of("t1") == "m1"
+
+
+class TestSufferageEdge:
+    def test_all_tasks_prefer_one_machine(self):
+        """Maximal contention: M-1 tasks displaced every pass."""
+        values = np.full((6, 3), 50.0)
+        values[:, 0] = np.arange(1.0, 7.0)
+        etc = ETCMatrix(values)
+        s = Sufferage()
+        mapping = s.map_tasks(etc)
+        assert mapping.is_complete()
+        # the machine everyone prefers fills up across passes
+        assert len(mapping.machine_tasks("m0")) >= 1
+
+    def test_sufferage_with_nonzero_ready(self):
+        etc = generate_range_based(10, 3, rng=5)
+        mapping = Sufferage().map_tasks(etc, [100.0, 0.0, 0.0])
+        validate_mapping(mapping)
+        # m0 heavily preloaded: it should attract little work
+        assert len(mapping.machine_tasks("m0")) <= len(
+            mapping.machine_tasks("m1")
+        ) + len(mapping.machine_tasks("m2"))

@@ -1,0 +1,101 @@
+"""Unit tests for the K-Percent Best heuristic."""
+
+import pytest
+
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+from repro.heuristics import MCT, MET, KPercentBest, kpb_subset_size
+
+
+class TestSubsetSize:
+    @pytest.mark.parametrize(
+        "machines,percent,expected",
+        [
+            (3, 70.0, 2),   # the paper's example: best two of three
+            (2, 70.0, 1),   # and one of two after the first iteration
+            (3, 100.0, 3),  # k=100% -> MCT
+            (4, 25.0, 1),   # k=100/M -> MET
+            (10, 1.0, 1),   # clamped to at least one machine
+            (5, 99.9, 4),   # floor semantics
+        ],
+    )
+    def test_values(self, machines, percent, expected):
+        assert kpb_subset_size(machines, percent) == expected
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ConfigurationError):
+            kpb_subset_size(0, 50.0)
+
+
+class TestConfiguration:
+    def test_invalid_percent(self):
+        with pytest.raises(ConfigurationError):
+            KPercentBest(percent=0.0)
+        with pytest.raises(ConfigurationError):
+            KPercentBest(percent=150.0)
+
+    def test_repr_shows_percent(self):
+        assert "70.0" in repr(KPercentBest(percent=70.0))
+
+
+class TestEquivalences:
+    """Paper Section 3.6: KPB interpolates between MET and MCT."""
+
+    def test_k100_equals_mct(self):
+        etc = generate_range_based(25, 5, rng=0)
+        kpb = KPercentBest(percent=100.0).map_tasks(etc)
+        mct = MCT().map_tasks(etc)
+        assert kpb.to_dict() == mct.to_dict()
+
+    def test_k_1_over_m_equals_met(self):
+        etc = generate_range_based(25, 5, rng=1)
+        kpb = KPercentBest(percent=100.0 / etc.num_machines).map_tasks(etc)
+        met = MET().map_tasks(etc)
+        assert kpb.to_dict() == met.to_dict()
+
+
+class TestSubsets:
+    def test_subset_for_contains_fastest(self, square_etc):
+        kpb = KPercentBest(percent=50.0)
+        for task in square_etc.tasks:
+            subset = kpb.subset_for(square_etc, task)
+            row = square_etc.task_row(task)
+            fastest = square_etc.machines[int(row.argmin())]
+            assert fastest in subset
+
+    def test_assignment_always_inside_subset(self):
+        etc = generate_range_based(30, 6, rng=2)
+        kpb = KPercentBest(percent=50.0)
+        mapping = kpb.map_tasks(etc)
+        for step in kpb.last_trace:
+            assert step.machine in step.subset
+        assert mapping.is_complete()
+
+    def test_etc_boundary_tie_stable_to_lower_index(self):
+        etc = ETCMatrix([[2.0, 1.0, 2.0]])  # m0 and m2 tie for 2nd place
+        kpb = KPercentBest(percent=67.0)  # subset of 2
+        kpb.map_tasks(etc)
+        assert kpb.last_trace[0].subset == ("m0", "m1")
+
+    def test_paper_example_original_subsets(self, kpb_etc):
+        kpb = KPercentBest(percent=70.0)
+        mapping = kpb.map_tasks(kpb_etc)
+        assert mapping.machine_finish_times() == {
+            "m1": 6.0,
+            "m2": 5.0,
+            "m3": 5.5,
+        }
+        subsets = [set(step.subset) for step in kpb.last_trace]
+        assert subsets == [
+            {"m1", "m2"},
+            {"m2", "m3"},
+            {"m2", "m3"},
+            {"m2", "m3"},
+            {"m2", "m3"},
+        ]
+
+    def test_trace_length_matches_tasks(self, square_etc):
+        kpb = KPercentBest(percent=70.0)
+        kpb.map_tasks(square_etc)
+        assert len(kpb.last_trace) == square_etc.num_tasks

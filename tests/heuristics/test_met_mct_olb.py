@@ -1,0 +1,115 @@
+"""Unit tests for the list-based heuristics: MET, MCT, OLB, random."""
+
+import numpy as np
+import pytest
+
+from repro.core.ties import RandomTieBreaker, ScriptedTieBreaker
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import MCT, MET, OLB, RandomMapper
+
+
+class TestMET:
+    def test_each_task_on_fastest_machine(self, square_etc):
+        mapping = MET().map_tasks(square_etc)
+        for task in square_etc.tasks:
+            row = square_etc.task_row(task)
+            assert square_etc.etc(task, mapping.machine_of(task)) == row.min()
+
+    def test_load_oblivious(self):
+        """All tasks pile onto the single fastest machine."""
+        etc = ETCMatrix([[1.0, 5.0], [2.0, 9.0], [1.0, 7.0]])
+        mapping = MET().map_tasks(etc)
+        assert all(mapping.machine_of(t) == "m0" for t in etc.tasks)
+        assert mapping.machine_finish_times() == {"m0": 4.0, "m1": 0.0}
+
+    def test_ignores_ready_times(self, square_etc):
+        busy = MET().map_tasks(square_etc, {"m0": 1e6})
+        idle = MET().map_tasks(square_etc)
+        assert busy.to_dict() == idle.to_dict()
+
+    def test_tie_respects_policy(self):
+        etc = ETCMatrix([[3.0, 3.0]])
+        low = MET().map_tasks(etc)
+        assert low.machine_of("t0") == "m0"
+        scripted = MET().map_tasks(etc, tie_breaker=ScriptedTieBreaker([1]))
+        assert scripted.machine_of("t0") == "m1"
+
+    def test_paper_example_original(self, mct_met_etc):
+        mapping = MET().map_tasks(mct_met_etc)
+        assert mapping.to_dict() == {"t1": "m1", "t2": "m2", "t3": "m3", "t4": "m2"}
+
+
+class TestMCT:
+    def test_greedy_min_completion(self, square_etc):
+        mapping = MCT().map_tasks(square_etc)
+        # replay: every assignment must have been a min-CT choice
+        ready = dict.fromkeys(square_etc.machines, 0.0)
+        for a in mapping.assignments:
+            cts = {m: ready[m] + square_etc.etc(a.task, m) for m in square_etc.machines}
+            assert cts[a.machine] == pytest.approx(min(cts.values()))
+            ready[a.machine] = a.completion
+
+    def test_respects_ready_times(self):
+        etc = ETCMatrix([[1.0, 5.0]])
+        mapping = MCT().map_tasks(etc, {"m0": 10.0})
+        assert mapping.machine_of("t0") == "m1"
+
+    def test_balances_unlike_met(self):
+        etc = ETCMatrix([[1.0, 1.5], [1.0, 1.5], [1.0, 1.5], [1.0, 1.5]])
+        mapping = MCT().map_tasks(etc)
+        finish = mapping.machine_finish_times()
+        assert finish["m1"] > 0.0  # MCT spills onto the slower machine
+
+    def test_task_list_order_is_row_order(self, square_etc):
+        mapping = MCT().map_tasks(square_etc)
+        assert [a.task for a in mapping.assignments] == list(square_etc.tasks)
+
+    def test_paper_example_original(self, mct_met_etc):
+        mapping = MCT().map_tasks(mct_met_etc)
+        assert mapping.machine_finish_times() == {"m1": 4.0, "m2": 3.0, "m3": 3.0}
+
+    def test_random_ties_seeded(self, mct_met_etc):
+        a = MCT().map_tasks(mct_met_etc, tie_breaker=RandomTieBreaker(rng=0))
+        b = MCT().map_tasks(mct_met_etc, tie_breaker=RandomTieBreaker(rng=0))
+        assert a.to_dict() == b.to_dict()
+
+
+class TestOLB:
+    def test_round_robins_on_equal_ready(self):
+        etc = ETCMatrix(np.full((4, 2), 3.0))
+        mapping = OLB().map_tasks(etc)
+        machines = [mapping.machine_of(t) for t in etc.tasks]
+        assert machines == ["m0", "m1", "m0", "m1"]
+
+    def test_ignores_etc_values(self):
+        # m1 is terrible for everything, but it is idle first
+        etc = ETCMatrix([[1.0, 100.0], [1.0, 100.0]])
+        mapping = OLB().map_tasks(etc, {"m0": 50.0})
+        assert mapping.machine_of("t0") == "m1"
+
+    def test_picks_earliest_ready(self, square_etc):
+        mapping = OLB().map_tasks(square_etc)
+        ready = dict.fromkeys(square_etc.machines, 0.0)
+        for a in mapping.assignments:
+            assert ready[a.machine] == pytest.approx(min(ready.values()))
+            ready[a.machine] = a.completion
+
+
+class TestRandomMapper:
+    def test_seeded_reproducible(self, square_etc):
+        a = RandomMapper(rng=7).map_tasks(square_etc)
+        b = RandomMapper(rng=7).map_tasks(square_etc)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ_somewhere(self):
+        etc = generate_range_based(30, 6, rng=0)
+        a = RandomMapper(rng=1).map_tasks(etc)
+        b = RandomMapper(rng=2).map_tasks(etc)
+        assert a.to_dict() != b.to_dict()
+
+    def test_spreads_over_machines(self):
+        etc = generate_range_based(200, 4, rng=0)
+        mapping = RandomMapper(rng=0).map_tasks(etc)
+        used = {mapping.machine_of(t) for t in etc.tasks}
+        assert used == set(etc.machines)

@@ -1,0 +1,212 @@
+"""Unit tests for Segmented Min-Min, Simulated Annealing and Tabu Search."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.seeding import SeededIterativeScheduler
+from repro.core.validation import validate_mapping
+from repro.etc.generation import Consistency, generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+from repro.heuristics import (
+    MinMin,
+    SegmentedMinMin,
+    SimulatedAnnealing,
+    TabuSearch,
+    get_heuristic,
+)
+
+
+class TestSegmentedMinMin:
+    def test_registered(self):
+        assert isinstance(get_heuristic("segmented-min-min"), SegmentedMinMin)
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            SegmentedMinMin(segments=0)
+        with pytest.raises(ConfigurationError):
+            SegmentedMinMin(key="median")
+
+    def test_one_segment_equals_minmin_when_order_is_irrelevant(self):
+        """With a single segment covering all tasks, segmented Min-Min
+        IS Min-Min over the whole set — identical finish times (the
+        commit *order* differs, but the greedy pair choices coincide on
+        tie-free instances)."""
+        etc = generate_range_based(20, 4, rng=0)
+        seg = SegmentedMinMin(segments=1).map_tasks(etc)
+        mm = MinMin().map_tasks(etc)
+        assert seg.to_dict() == mm.to_dict()
+
+    def test_segments_clamped_to_task_count(self):
+        etc = ETCMatrix([[1.0, 2.0], [2.0, 1.0]])
+        mapping = SegmentedMinMin(segments=10).map_tasks(etc)
+        assert mapping.is_complete()
+
+    @pytest.mark.parametrize("key", ["average", "minimum", "maximum"])
+    def test_all_keys_produce_valid_mappings(self, key):
+        etc = generate_range_based(25, 5, rng=1)
+        mapping = SegmentedMinMin(segments=4, key=key).map_tasks(etc)
+        validate_mapping(mapping)
+        assert mapping.is_complete()
+
+    def test_beats_minmin_on_consistent_instances(self):
+        """Wu & Shu's headline result: segmentation helps on consistent
+        matrices (on average over an ensemble)."""
+        wins = 0
+        total = 12
+        for seed in range(total):
+            etc = generate_range_based(
+                64, 8, consistency=Consistency.CONSISTENT, rng=seed
+            )
+            seg = SegmentedMinMin(segments=4).map_tasks(etc).makespan()
+            mm = MinMin().map_tasks(etc).makespan()
+            wins += seg < mm
+        assert wins > total / 2
+
+    def test_descending_key_order_within_first_segment(self):
+        etc = generate_range_based(12, 3, rng=2)
+        seg = SegmentedMinMin(segments=3)
+        mapping = seg.map_tasks(etc)
+        first_segment_tasks = [a.task for a in mapping.assignments[:4]]
+        keys = etc.values.mean(axis=1)
+        cutoff = sorted(keys, reverse=True)[3]
+        for task in first_segment_tasks:
+            assert keys[etc.task_index(task)] >= cutoff - 1e-12
+
+    def test_repr(self):
+        assert "segments=4" in repr(SegmentedMinMin())
+
+
+class TestSimulatedAnnealing:
+    def test_registered(self):
+        assert isinstance(get_heuristic("simulated-annealing"), SimulatedAnnealing)
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealing(steps=-1)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealing(cooling=1.0)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealing(cooling=0.0)
+
+    def test_seeded_reproducible(self, square_etc):
+        a = SimulatedAnnealing(steps=300, rng=5).map_tasks(square_etc)
+        b = SimulatedAnnealing(steps=300, rng=5).map_tasks(square_etc)
+        assert a.to_dict() == b.to_dict()
+
+    def test_complete_and_valid(self, square_etc):
+        mapping = SimulatedAnnealing(steps=200, rng=0).map_tasks(square_etc)
+        validate_mapping(mapping)
+        assert mapping.is_complete()
+
+    def test_improves_with_budget(self):
+        etc = generate_range_based(30, 5, rng=3)
+        cold = SimulatedAnnealing(steps=0, rng=1).map_tasks(etc).makespan()
+        hot = SimulatedAnnealing(steps=5000, rng=1).map_tasks(etc).makespan()
+        assert hot < cold
+
+    def test_finds_optimum_on_trivial_instance(self):
+        etc = ETCMatrix([[1.0, 10.0], [10.0, 1.0]])
+        mapping = SimulatedAnnealing(steps=500, rng=0).map_tasks(etc)
+        assert mapping.makespan() == pytest.approx(1.0)
+
+    def test_seed_never_lost(self, square_etc):
+        """Best-so-far elitism: output <= seed makespan."""
+        seed_map = MinMin().map_tasks(square_etc).to_dict()
+        out = SimulatedAnnealing(steps=300, rng=0).map_tasks(
+            square_etc, seed_mapping=seed_map
+        )
+        from repro.core.seeding import replay_mapping
+
+        seed_span = replay_mapping(square_etc, None, seed_map).makespan()
+        assert out.makespan() <= seed_span + 1e-9
+
+    def test_supports_seeding_flag(self):
+        assert SimulatedAnnealing().supports_seeding
+
+    def test_iterative_with_seeding_monotone(self):
+        etc = generate_range_based(15, 4, rng=4)
+        sa = SimulatedAnnealing(steps=300, rng=2)
+        result = IterativeScheduler(sa, seed_across_iterations=True).run(etc)
+        spans = result.makespans()
+        assert all(b <= a + 1e-9 for a, b in zip(spans, spans[1:]))
+
+
+class TestTabuSearch:
+    def test_registered(self):
+        assert isinstance(get_heuristic("tabu-search"), TabuSearch)
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            TabuSearch(max_hops=-1)
+        with pytest.raises(ConfigurationError):
+            TabuSearch(tabu_size=0)
+
+    def test_seeded_reproducible(self, square_etc):
+        a = TabuSearch(max_hops=50, rng=5).map_tasks(square_etc)
+        b = TabuSearch(max_hops=50, rng=5).map_tasks(square_etc)
+        assert a.to_dict() == b.to_dict()
+
+    def test_complete_and_valid(self, square_etc):
+        mapping = TabuSearch(max_hops=50, rng=0).map_tasks(square_etc)
+        validate_mapping(mapping)
+        assert mapping.is_complete()
+
+    def test_short_hops_reach_local_optimum(self):
+        """After the search, no single-task reassignment of the output
+        can strictly improve the makespan... unless the budget ran out
+        mid-descent; with a generous budget on a small instance the
+        output must be 1-swap optimal."""
+        etc = generate_range_based(10, 3, rng=6)
+        mapping = TabuSearch(max_hops=300, rng=0).map_tasks(etc)
+        finish = mapping.finish_time_vector()
+        span = finish.max()
+        vec = mapping.assignment_vector()
+        for task_idx in range(etc.num_tasks):
+            for machine_idx in range(etc.num_machines):
+                if machine_idx == vec[task_idx]:
+                    continue
+                trial = finish.copy()
+                trial[vec[task_idx]] -= etc.values[task_idx, vec[task_idx]]
+                trial[machine_idx] += etc.values[task_idx, machine_idx]
+                assert trial.max() >= span - 1e-9
+
+    def test_finds_optimum_on_trivial_instance(self):
+        etc = ETCMatrix([[1.0, 10.0], [10.0, 1.0]])
+        mapping = TabuSearch(max_hops=50, rng=0).map_tasks(etc)
+        assert mapping.makespan() == pytest.approx(1.0)
+
+    def test_seed_never_lost(self, square_etc):
+        seed_map = MinMin().map_tasks(square_etc).to_dict()
+        out = TabuSearch(max_hops=50, rng=0).map_tasks(
+            square_etc, seed_mapping=seed_map
+        )
+        from repro.core.seeding import replay_mapping
+
+        seed_span = replay_mapping(square_etc, None, seed_map).makespan()
+        assert out.makespan() <= seed_span + 1e-9
+
+    def test_long_hop_avoids_tabu_patterns(self):
+        rng = np.random.default_rng(0)
+        banned = TabuSearch._long_hop(rng, 3, 2, [])
+        out = TabuSearch._long_hop(rng, 3, 2, [banned.tobytes()])
+        assert out.tobytes() != banned.tobytes()
+
+
+class TestSearchHeuristicsInIterativeTechnique:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: SegmentedMinMin(segments=3),
+            lambda: SimulatedAnnealing(steps=200, rng=0),
+            lambda: TabuSearch(max_hops=50, rng=0),
+        ],
+        ids=["segmented", "sa", "tabu"],
+    )
+    def test_runs_under_both_schedulers(self, factory):
+        etc = generate_range_based(12, 4, rng=7)
+        plain = IterativeScheduler(factory()).run(etc)
+        assert plain.num_iterations >= 1
+        seeded = SeededIterativeScheduler(factory()).run(etc)
+        assert not seeded.makespan_increased()

@@ -1,0 +1,109 @@
+"""Unit tests for the Switching Algorithm."""
+
+import math
+
+import pytest
+
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+from repro.heuristics import MCT, MET, SwitchingAlgorithm, balance_index
+
+
+class TestBalanceIndex:
+    def test_defined(self):
+        assert balance_index([2.0, 4.0]) == 0.5
+
+    def test_balanced_is_one(self):
+        assert balance_index([3.0, 3.0, 3.0]) == 1.0
+
+    def test_all_idle_is_nan(self):
+        assert math.isnan(balance_index([0.0, 0.0]))
+
+    def test_one_idle_is_zero(self):
+        assert balance_index([0.0, 5.0]) == 0.0
+
+
+class TestConfiguration:
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            SwitchingAlgorithm(low=0.6, high=0.5)
+        with pytest.raises(ConfigurationError):
+            SwitchingAlgorithm(low=-0.1, high=0.5)
+        with pytest.raises(ConfigurationError):
+            SwitchingAlgorithm(low=0.2, high=1.5)
+
+    def test_repr(self):
+        assert "low=0.4" in repr(SwitchingAlgorithm(low=0.4, high=0.49))
+
+
+class TestSwitching:
+    def test_first_task_always_mct(self, square_etc):
+        swa = SwitchingAlgorithm()
+        swa.map_tasks(square_etc)
+        assert swa.last_trace[0].heuristic == "mct"
+        assert math.isnan(swa.last_trace[0].bi)
+
+    def test_degenerate_low_high_tracks_mct(self):
+        """With high=1.0 nothing can exceed it, so SWA stays MCT."""
+        etc = generate_range_based(20, 4, rng=0)
+        swa = SwitchingAlgorithm(low=0.0, high=1.0)
+        # BI can equal 1.0 but the switch needs BI > high, so never fires
+        assert swa.map_tasks(etc).to_dict() == MCT().map_tasks(etc).to_dict()
+
+    def test_switches_to_met_when_balanced(self):
+        # two machines; first task leaves BI 0; second task balances the
+        # system so the third sees BI above high and uses MET
+        etc = ETCMatrix(
+            [[4.0, 9.0], [9.0, 4.0], [1.0, 3.0]],
+        )
+        swa = SwitchingAlgorithm(low=0.2, high=0.8)
+        swa.map_tasks(etc)
+        assert [s.heuristic for s in swa.last_trace] == ["mct", "mct", "met"]
+
+    def test_switches_back_to_mct_when_unbalanced(self):
+        etc = ETCMatrix(
+            [[4.0, 9.0], [9.0, 4.0], [8.0, 9.0], [1.0, 1.5]],
+        )
+        swa = SwitchingAlgorithm(low=0.5, high=0.8)
+        swa.map_tasks(etc)
+        heuristics = [s.heuristic for s in swa.last_trace]
+        assert heuristics[2] == "met"
+        assert heuristics[3] == "mct"  # BI dropped below low after MET burst
+
+    def test_paper_example_heuristic_trace(self, swa_etc):
+        swa = SwitchingAlgorithm(low=0.40, high=0.49)
+        mapping = swa.map_tasks(swa_etc)
+        assert [s.heuristic for s in swa.last_trace] == [
+            "mct",
+            "mct",
+            "mct",
+            "mct",
+            "met",
+        ]
+        bis = [s.bi for s in swa.last_trace]
+        assert math.isnan(bis[0])
+        assert bis[1:] == pytest.approx([0.0, 0.0, 1 / 3, 2 / 3])
+        assert mapping.machine_finish_times() == {"m1": 6.0, "m2": 5.0, "m3": 5.0}
+
+    def test_trace_machine_matches_mapping(self, square_etc):
+        swa = SwitchingAlgorithm()
+        mapping = swa.map_tasks(square_etc)
+        for step in swa.last_trace:
+            assert mapping.machine_of(step.task) == step.machine
+
+    def test_deterministic_reruns_identical(self):
+        for seed in range(5):
+            etc = generate_range_based(40, 6, rng=seed)
+            a = SwitchingAlgorithm().map_tasks(etc)
+            b = SwitchingAlgorithm().map_tasks(etc)
+            assert a.to_dict() == b.to_dict()
+
+    def test_uses_both_heuristics_on_balanced_loads(self):
+        """On instances that repeatedly balance, SWA must actually
+        alternate: both MET and MCT appear in the trace."""
+        etc = generate_range_based(60, 4, rng=1)
+        swa = SwitchingAlgorithm(low=0.3, high=0.6)
+        swa.map_tasks(etc)
+        used = {s.heuristic for s in swa.last_trace}
+        assert used == {"mct", "met"}

@@ -1,0 +1,106 @@
+"""Integration: dynamic simulation composed with the analysis stack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.trajectory import sparkline
+from repro.etc.generation import generate_range_based
+from repro.heuristics import get_heuristic
+from repro.sim.hcsystem import (
+    ArrivalWorkload,
+    DynamicHCSimulation,
+    MCTOnline,
+    SWAOnline,
+    poisson_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def etc():
+    return generate_range_based(30, 5, rng=40)
+
+
+@pytest.fixture(scope="module")
+def workload(etc):
+    return poisson_workload(etc, rate=1e-4, rng=41)
+
+
+class TestTraceAnalysis:
+    def test_gantt_renders_dynamic_trace(self, workload):
+        trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        text = render_gantt(trace, width=50)
+        for machine in workload.etc.machines:
+            assert machine in text
+
+    def test_utilisation_profile_sparkline(self, workload):
+        trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        utils = [trace.utilisation(m) for m in workload.etc.machines]
+        assert len(sparkline(utils)) == len(utils)
+
+    def test_busy_time_conservation(self, workload):
+        """Sum of per-machine busy time == sum of actual task times."""
+        trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        busy = sum(
+            trace.machine_busy_time(m) for m in workload.etc.machines
+        )
+        actual = sum(
+            workload.etc.etc(r.task, r.machine) for r in trace.records
+        )
+        assert busy == pytest.approx(actual)
+
+
+class TestOnlineVsOffline:
+    def test_offline_minmin_bounds_online_mct_with_hindsight(self, etc):
+        """With all arrivals at time 0 the on-line problem reduces to
+        the off-line one; batch Min-Min in one event must match plain
+        Min-Min exactly."""
+        workload = ArrivalWorkload(
+            etc=etc, arrivals=tuple([0.0] * etc.num_tasks)
+        )
+        trace = DynamicHCSimulation(
+            workload,
+            batch_heuristic=get_heuristic("min-min"),
+            batch_interval=1e-9,
+        ).run()
+        offline = get_heuristic("min-min").map_tasks(etc)
+        assert trace.machine_finish_times() == pytest.approx(
+            offline.machine_finish_times()
+        )
+
+    def test_online_mct_matches_offline_mct_when_arrivals_sparse(self, etc):
+        """If each task arrives after the previous one finished
+        everywhere, on-line MCT's *choices* equal off-line MCT's on the
+        empty-system state: each task goes to its min-ETC machine."""
+        horizon = float(etc.values.max()) + 1.0
+        arrivals = tuple(i * horizon for i in range(etc.num_tasks))
+        workload = ArrivalWorkload(etc=etc, arrivals=arrivals)
+        trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        for record in trace.records:
+            row = etc.task_row(record.task)
+            assert etc.etc(record.task, record.machine) == row.min()
+
+    def test_swa_online_vs_offline_same_first_decision(self, etc):
+        """The first task sees an idle system in both modes: on-line SWA
+        and off-line SWA map it identically (MCT on idle machines)."""
+        workload = ArrivalWorkload(
+            etc=etc, arrivals=tuple(float(i) for i in range(etc.num_tasks))
+        )
+        trace = DynamicHCSimulation(workload, policy=SWAOnline()).run()
+        offline = get_heuristic("switching-algorithm").map_tasks(etc)
+        first_task = etc.tasks[0]
+        assert trace.execution_of(first_task).machine == offline.machine_of(
+            first_task
+        )
+
+
+class TestLoadRegimes:
+    def test_low_load_tasks_barely_wait(self, etc):
+        sparse = poisson_workload(etc, rate=1e-7, rng=42)
+        trace = DynamicHCSimulation(sparse, policy=MCTOnline()).run()
+        assert trace.mean_queue_wait() < 0.01 * trace.makespan()
+
+    def test_high_load_queues_build(self, etc):
+        dense = poisson_workload(etc, rate=1.0, rng=43)
+        trace = DynamicHCSimulation(dense, policy=MCTOnline()).run()
+        assert trace.mean_queue_wait() > 0.0

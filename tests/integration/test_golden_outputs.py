@@ -1,0 +1,59 @@
+"""Golden-output snapshots of the paper-format renderers.
+
+Pins the exact rendered text of the Min-Min example artefacts (Table 1,
+Table 2, Figure 3) so that accidental format regressions — column
+drift, rounding changes, Gantt scaling bugs — fail loudly.  Update the
+expected strings deliberately if the format is intentionally changed.
+"""
+
+from repro.analysis import (
+    render_allocation_table,
+    render_etc_table,
+    render_gantt,
+)
+from repro.etc.witness import minmin_example_etc
+from repro.heuristics import MinMin
+
+GOLDEN_TABLE_1 = (
+    "              m1      m2      m3\n"
+    "t1             3       1       3\n"
+    "t2             4       1       2\n"
+    "t3             6       6       4\n"
+    "t4             5       6       6"
+)
+
+GOLDEN_TABLE_2 = (
+    "step  task  machine          m1 CT        m2 CT        m3 CT\n"
+    "------------------------------------------------------------\n"
+    "1     t1    m2                   0            1            0\n"
+    "2     t2    m2                   0            2            0\n"
+    "3     t3    m3                   0            2            4\n"
+    "4     t4    m1                   5            2            4"
+)
+
+GOLDEN_FIGURE_3 = (
+    "m1 |[t4==========================]\n"
+    "m2 |[t1==][t2==]\n"
+    "m3 |[t3====================]\n"
+    "   +------------------------------\n"
+    "    0       1.25   2.5    3.75    5"
+)
+
+
+def test_table_1_snapshot():
+    assert render_etc_table(minmin_example_etc()) == GOLDEN_TABLE_1
+
+
+def test_table_2_snapshot():
+    mapping = MinMin().map_tasks(minmin_example_etc())
+    assert render_allocation_table(mapping) == GOLDEN_TABLE_2
+
+
+def test_figure_3_snapshot():
+    mapping = MinMin().map_tasks(minmin_example_etc())
+    assert render_gantt(mapping, width=30) == GOLDEN_FIGURE_3
+
+
+def test_titles_prepend_cleanly():
+    text = render_etc_table(minmin_example_etc(), title="Table 1")
+    assert text == "Table 1\n" + GOLDEN_TABLE_1

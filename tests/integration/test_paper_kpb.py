@@ -1,0 +1,82 @@
+"""Integration replay of the paper's K-Percent Best example (Section 3.6).
+
+Tables 12–14, Figures 15–16.  Documented facts asserted (k = 70%,
+deterministic ties):
+
+* original mapping (subset = best 2 of 3 machines): completion times
+  m1 = 6, m2 = 5, m3 = 5.5; makespan machine m1;
+* first iterative mapping: with 2 machines the subset shrinks to one
+  machine, "forcing the K-percent Best Algorithm to perform like the
+  MET heuristic"; completion times m2 = 7, m3 = 3;
+* makespan increases 6 -> 7 with deterministic tie-breaking; the new
+  makespan machine is m2.
+"""
+
+import pytest
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.validation import validate_iterative_result
+from repro.etc.witness import KPB_EXAMPLE_PERCENT, kpb_example_etc
+from repro.heuristics import MET, KPercentBest
+
+
+@pytest.fixture
+def etc():
+    return kpb_example_etc()
+
+
+@pytest.fixture
+def kpb():
+    return KPercentBest(percent=KPB_EXAMPLE_PERCENT)
+
+
+class TestOriginalMapping:
+    def test_completion_times(self, etc, kpb):
+        mapping = kpb.map_tasks(etc)
+        assert mapping.machine_finish_times() == {"m1": 6.0, "m2": 5.0, "m3": 5.5}
+        assert mapping.makespan_machine() == "m1"
+
+    def test_subsets_have_two_machines(self, etc, kpb):
+        kpb.map_tasks(etc)
+        assert all(len(step.subset) == 2 for step in kpb.last_trace)
+
+    def test_assignments(self, etc, kpb):
+        mapping = kpb.map_tasks(etc)
+        assert mapping.to_dict() == {
+            "t1": "m1", "t2": "m2", "t3": "m3", "t4": "m2", "t5": "m3",
+        }
+
+
+class TestIterativeMapping:
+    def test_full_run(self, etc, kpb):
+        result = IterativeScheduler(kpb).run(etc)
+        validate_iterative_result(result)
+        first = result.iterations[1]
+        assert first.finish_times() == {"m2": 7.0, "m3": 3.0}
+        assert first.frozen_machine == "m2"
+        assert result.makespans()[:2] == (6.0, 7.0)
+        assert result.makespan_increased()
+
+    def test_subset_shrinks_to_met(self, etc, kpb):
+        """With 2 machines and k=70% the subset is a single machine, so
+        the first iterative mapping must equal MET's mapping."""
+        sub = etc.without_machine("m1", ["t1"])
+        kpb_mapping = kpb.map_tasks(sub)
+        met_mapping = MET().map_tasks(sub)
+        assert kpb_mapping.to_dict() == met_mapping.to_dict()
+        kpb.map_tasks(sub)
+        assert all(len(step.subset) == 1 for step in kpb.last_trace)
+
+    def test_increase_happens_under_deterministic_ties(self, etc, kpb):
+        result = IterativeScheduler(kpb).run(etc)
+        assert result.makespan_increased()
+        # final finishing times per the paper's prose
+        assert result.final_finish_times["m1"] == 6.0
+        assert result.final_finish_times["m2"] == 7.0
+        assert result.final_finish_times["m3"] == 3.0
+
+    def test_k100_restores_invariance_on_this_matrix(self, etc):
+        """The increase is caused by the subset shrink: with k = 100%
+        (KPB == MCT) the same matrix is iteration-invariant."""
+        result = IterativeScheduler(KPercentBest(percent=100.0)).run(etc)
+        assert not result.makespan_increased()

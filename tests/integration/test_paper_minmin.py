@@ -1,0 +1,82 @@
+"""Integration replay of the paper's Min-Min example (Section 3.2).
+
+Tables 1–3, Figures 3–4.  Every number asserted below is stated in the
+paper's prose:
+
+* original mapping completion times: m1 = 5, m2 = 2, m3 = 4;
+  makespan machine m1;
+* first iterative mapping (random tie broken the other way):
+  m1 = 5 (unchanged), m2 = 1, m3 = 6; new makespan machine m3;
+* hence "the makespan can increase if the Min-Min heuristic is used"
+  with random tie-breaking.
+"""
+
+import pytest
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.ties import RandomTieBreaker, ScriptedTieBreaker
+from repro.core.validation import validate_iterative_result
+from repro.etc.witness import minmin_example_etc
+from repro.heuristics import MinMin
+
+
+@pytest.fixture
+def etc():
+    return minmin_example_etc()
+
+
+class TestOriginalMapping:
+    def test_completion_times(self, etc):
+        mapping = MinMin().map_tasks(etc)
+        assert mapping.machine_finish_times() == {"m1": 5.0, "m2": 2.0, "m3": 4.0}
+
+    def test_makespan_machine(self, etc):
+        mapping = MinMin().map_tasks(etc)
+        assert mapping.makespan_machine() == "m1"
+        assert mapping.makespan() == 5.0
+
+    def test_tie_occurs_during_original(self, etc):
+        """The documented t2 tie (m2 vs m3 at CT 2) is genuine: a
+        scripted breaker must consume exactly one tie decision."""
+        script = ScriptedTieBreaker([2])  # would pick m3 at the tie
+        mapping = MinMin().map_tasks(etc, tie_breaker=script)
+        assert script.consumed == 1
+        # breaking the tie the other way reroutes t2 to m3
+        assert mapping.machine_of("t2") == "m3"
+
+
+class TestFirstIterativeMapping:
+    def test_alternate_tie_break_increases_makespan(self, etc):
+        sub = etc.without_machine("m1", ["t4"])
+        mapping = MinMin().map_tasks(sub, tie_breaker=ScriptedTieBreaker([1]))
+        assert mapping.machine_finish_times() == {"m2": 1.0, "m3": 6.0}
+        assert mapping.makespan_machine() == "m3"
+        assert mapping.makespan() == 6.0 > 5.0  # the documented increase
+
+    def test_deterministic_iterations_identical(self, etc):
+        """Theorem (Section 3.2): with deterministic ties the iterative
+        mappings equal the original."""
+        result = IterativeScheduler(MinMin()).run(etc)
+        assert not result.mapping_changed()
+        assert not result.makespan_increased()
+        assert result.final_finish_times == {"m1": 5.0, "m2": 2.0, "m3": 4.0}
+        validate_iterative_result(result)
+
+    def test_random_ties_can_reproduce_the_paper_run(self, etc):
+        """Some random seed must reproduce the documented divergence:
+        original ties to m2, first iteration ties to m3."""
+        for seed in range(64):
+            scheduler = IterativeScheduler(
+                MinMin(), tie_breaker=RandomTieBreaker(rng=seed)
+            )
+            result = scheduler.run(etc)
+            finish = result.final_finish_times
+            if (
+                result.original.finish_times()
+                == {"m1": 5.0, "m2": 2.0, "m3": 4.0}
+                and finish["m2"] == 1.0
+                and finish["m3"] == 6.0
+            ):
+                assert result.makespan_increased()
+                return
+        pytest.fail("no seed reproduced the paper's random-tie divergence")

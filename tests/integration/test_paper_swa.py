@@ -1,0 +1,104 @@
+"""Integration replay of the paper's SWA example (Section 3.5).
+
+Tables 9–11, Figures 11–12.  Documented facts asserted (deterministic
+tie-breaking throughout — this is the point of the example):
+
+* original mapping: BI trace x, 0, 0, 1/3, 2/3; heuristics MCT x4 then
+  MET; completion times m1 = 6, m2 = 5, m3 = 5; makespan machine m1;
+* first iterative mapping: BI trace x, 0, 1/2, 4/13; heuristic trace
+  MCT, MCT, MET, MCT; completion times m2 = 4, m3 = 6.5;
+* t2 and t3 keep their machines, t4 moves because t3's allocation
+  leaves a different balance index; makespan increases 6 -> 6.5.
+"""
+
+import math
+
+import pytest
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.validation import validate_iterative_result
+from repro.etc.witness import (
+    SWA_EXAMPLE_HIGH_THRESHOLD,
+    SWA_EXAMPLE_LOW_THRESHOLD,
+    swa_example_etc,
+)
+from repro.heuristics import SwitchingAlgorithm
+
+
+@pytest.fixture
+def etc():
+    return swa_example_etc()
+
+
+@pytest.fixture
+def swa():
+    return SwitchingAlgorithm(
+        low=SWA_EXAMPLE_LOW_THRESHOLD, high=SWA_EXAMPLE_HIGH_THRESHOLD
+    )
+
+
+class TestOriginalMapping:
+    def test_completion_times(self, etc, swa):
+        mapping = swa.map_tasks(etc)
+        assert mapping.machine_finish_times() == {"m1": 6.0, "m2": 5.0, "m3": 5.0}
+        assert mapping.makespan_machine() == "m1"
+
+    def test_bi_trace(self, etc, swa):
+        swa.map_tasks(etc)
+        bis = [s.bi for s in swa.last_trace]
+        assert math.isnan(bis[0])
+        assert bis[1:] == pytest.approx([0.0, 0.0, 1 / 3, 2 / 3])
+
+    def test_heuristic_trace(self, etc, swa):
+        swa.map_tasks(etc)
+        assert [s.heuristic for s in swa.last_trace] == [
+            "mct", "mct", "mct", "mct", "met",
+        ]
+
+    def test_assignments(self, etc, swa):
+        mapping = swa.map_tasks(etc)
+        assert mapping.to_dict() == {
+            "t1": "m1", "t2": "m2", "t3": "m3", "t4": "m2", "t5": "m3",
+        }
+
+
+class TestIterativeMapping:
+    def test_full_run(self, etc, swa):
+        result = IterativeScheduler(swa).run(etc)
+        validate_iterative_result(result)
+        first = result.iterations[1]
+        assert first.finish_times() == {"m2": 4.0, "m3": 6.5}
+        assert first.frozen_machine == "m3"
+        assert result.makespan_increased()
+        assert result.makespans()[:2] == (6.0, 6.5)
+
+    def test_iterative_bi_and_heuristic_trace(self, etc, swa):
+        result = IterativeScheduler(swa).run(etc)
+        trace = result.iterations[1].trace
+        bis = [s.bi for s in trace]
+        assert math.isnan(bis[0])
+        assert bis[1:] == pytest.approx([0.0, 0.5, 4 / 13])
+        assert [s.heuristic for s in trace] == ["mct", "mct", "met", "mct"]
+
+    def test_documented_task_movements(self, etc, swa):
+        result = IterativeScheduler(swa).run(etc)
+        original = result.original.mapping.to_dict()
+        first = result.iterations[1].mapping.to_dict()
+        # t2 and t3 stay; t4 moves to m3 via MET; t5 moves to m2 via MCT
+        assert first["t2"] == original["t2"] == "m2"
+        assert first["t3"] == original["t3"] == "m3"
+        assert original["t4"] == "m2" and first["t4"] == "m3"
+        assert original["t5"] == "m3" and first["t5"] == "m2"
+
+    def test_increase_happens_under_deterministic_ties(self, etc, swa):
+        """No randomness anywhere: SWA increases makespan anyway."""
+        assert swa.map_tasks(etc)  # deterministic default breaker
+        result = IterativeScheduler(swa).run(etc)
+        assert result.makespan_increased()
+
+    def test_low_threshold_interval_is_what_matters(self, etc):
+        """Any low threshold in (4/13, high) reproduces the example."""
+        for low in (0.32, 0.40, 0.48):
+            swa = SwitchingAlgorithm(low=low, high=SWA_EXAMPLE_HIGH_THRESHOLD)
+            result = IterativeScheduler(swa).run(etc)
+            assert result.iterations[1].finish_times() == {"m2": 4.0, "m3": 6.5}

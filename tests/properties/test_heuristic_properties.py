@@ -1,0 +1,129 @@
+"""Property-based tests over all heuristics (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ties import DeterministicTieBreaker, RandomTieBreaker
+from repro.core.validation import validate_mapping
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import MCT, MET, KPercentBest, MinMin, get_heuristic
+
+
+@st.composite
+def etc_matrices(draw, min_tasks=1, max_tasks=10, min_machines=1, max_machines=5):
+    num_tasks = draw(st.integers(min_tasks, max_tasks))
+    num_machines = draw(st.integers(min_machines, max_machines))
+    values = draw(
+        st.lists(
+            st.lists(
+                st.floats(0.5, 50.0, allow_nan=False, allow_infinity=False),
+                min_size=num_machines,
+                max_size=num_machines,
+            ),
+            min_size=num_tasks,
+            max_size=num_tasks,
+        )
+    )
+    return ETCMatrix(values)
+
+
+DETERMINISTIC_NAMES = [
+    "met",
+    "mct",
+    "olb",
+    "min-min",
+    "max-min",
+    "duplex",
+    "sufferage",
+    "k-percent-best",
+    "switching-algorithm",
+]
+
+
+@pytest.mark.parametrize("name", DETERMINISTIC_NAMES)
+@given(etc=etc_matrices())
+@settings(max_examples=25, deadline=None)
+def test_complete_and_valid(name, etc):
+    mapping = get_heuristic(name).map_tasks(etc)
+    assert mapping.is_complete()
+    validate_mapping(mapping)
+
+
+@pytest.mark.parametrize("name", DETERMINISTIC_NAMES)
+@given(etc=etc_matrices())
+@settings(max_examples=15, deadline=None)
+def test_deterministic_idempotence(name, etc):
+    a = get_heuristic(name).map_tasks(etc, tie_breaker=DeterministicTieBreaker())
+    b = get_heuristic(name).map_tasks(etc, tie_breaker=DeterministicTieBreaker())
+    assert a.to_dict() == b.to_dict()
+
+
+@given(etc=etc_matrices(min_machines=2))
+@settings(max_examples=25, deadline=None)
+def test_met_lower_bounds_every_task(etc):
+    """Each MET assignment achieves the task's row-minimum ETC."""
+    mapping = MET().map_tasks(etc)
+    for task in etc.tasks:
+        best = etc.task_row(task).min()
+        # values within the tie tolerance count as attaining the minimum
+        assert etc.etc(task, mapping.machine_of(task)) <= best * (1 + 1e-9) + 1e-12
+
+
+@given(etc=etc_matrices(min_machines=2))
+@settings(max_examples=25, deadline=None)
+def test_mct_never_worse_than_double_best(etc):
+    """Greedy MCT is 2-competitive-ish sanity: makespan <= sum of row
+    minima + max row minimum (loose, but must always hold since MCT's
+    completion for each task <= placing it after everything on its best
+    machine)."""
+    mapping = MCT().map_tasks(etc)
+    row_minima = etc.values.min(axis=1)
+    assert mapping.makespan() <= row_minima.sum() + 1e-9
+
+
+@given(etc=etc_matrices(min_machines=2))
+@settings(max_examples=25, deadline=None)
+def test_minmin_first_pick_is_global_minimum(etc):
+    mapping = MinMin().map_tasks(etc)
+    assert mapping.assignments[0].completion == pytest.approx(etc.values.min())
+
+
+@given(etc=etc_matrices(min_machines=2), percent=st.floats(10.0, 100.0))
+@settings(max_examples=25, deadline=None)
+def test_kpb_assignment_within_subset(etc, percent):
+    kpb = KPercentBest(percent=percent)
+    mapping = kpb.map_tasks(etc)
+    for step in kpb.last_trace:
+        assert step.machine in step.subset
+        assert mapping.machine_of(step.task) == step.machine
+
+
+@given(etc=etc_matrices(min_machines=2), seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_random_ties_still_produce_valid_mappings(etc, seed):
+    mapping = MCT().map_tasks(etc, tie_breaker=RandomTieBreaker(rng=seed))
+    validate_mapping(mapping)
+    assert mapping.is_complete()
+
+
+@given(etc=etc_matrices(), seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_genitor_output_never_worse_than_its_seed(etc, seed):
+    seed_mapping = MinMin().map_tasks(etc).to_dict()
+    genitor = get_heuristic(
+        "genitor", iterations=20, population_size=8, rng=seed
+    )
+    out = genitor.map_tasks(etc, seed_mapping=seed_mapping)
+    seed_span = _span(etc, seed_mapping)
+    assert out.makespan() <= seed_span + 1e-9
+
+
+def _span(etc, assignment):
+    from repro.core.schedule import Mapping
+
+    m = Mapping(etc)
+    for t in etc.tasks:
+        m.assign(t, assignment[t])
+    return m.makespan()

@@ -1,0 +1,134 @@
+"""Property-based tests for the iterative technique (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.seeding import SeededIterativeScheduler
+from repro.core.ties import RandomTieBreaker
+from repro.core.validation import validate_iterative_result
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import get_heuristic
+
+
+@st.composite
+def etc_matrices(draw, max_tasks=9, max_machines=4):
+    num_tasks = draw(st.integers(2, max_tasks))
+    num_machines = draw(st.integers(2, max_machines))
+    values = draw(
+        st.lists(
+            st.lists(
+                st.floats(0.5, 50.0, allow_nan=False, allow_infinity=False),
+                min_size=num_machines,
+                max_size=num_machines,
+            ),
+            min_size=num_tasks,
+            max_size=num_tasks,
+        )
+    )
+    return ETCMatrix(values)
+
+
+@pytest.mark.parametrize("name", ["mct", "met", "min-min"])
+@given(etc=etc_matrices())
+@settings(max_examples=25, deadline=None)
+def test_theorem_invariance_property(name, etc):
+    """The paper's theorems as a hypothesis property: deterministic ties
+    => identical mappings across all iterations, for arbitrary ETCs."""
+    result = IterativeScheduler(get_heuristic(name)).run(etc)
+    assert not result.mapping_changed()
+    assert not result.makespan_increased()
+    validate_iterative_result(result)
+
+
+@pytest.mark.parametrize("name", ["mct", "met", "min-min"])
+@given(etc=etc_matrices())
+@settings(max_examples=20, deadline=None)
+def test_invariant_finish_times_equal_original(name, etc):
+    """For invariant heuristics the technique is a no-op: final
+    finishing times equal the original mapping's."""
+    result = IterativeScheduler(get_heuristic(name)).run(etc)
+    original = result.original_finish_times()
+    for machine, finish in result.final_finish_times.items():
+        assert finish == pytest.approx(original[machine])
+
+
+@pytest.mark.parametrize("name", ["sufferage", "switching-algorithm", "k-percent-best"])
+@given(etc=etc_matrices())
+@settings(max_examples=20, deadline=None)
+def test_structural_invariants_for_variant_heuristics(name, etc):
+    result = IterativeScheduler(get_heuristic(name)).run(etc)
+    validate_iterative_result(result)
+    # the frozen machine's final CT is its CT at freeze time, always
+    for rec in result.iterations:
+        assert result.final_finish_times[rec.frozen_machine] == pytest.approx(
+            rec.mapping.ready_time(rec.frozen_machine)
+        )
+
+
+@pytest.mark.parametrize("name", ["sufferage", "k-percent-best", "mct"])
+@given(etc=etc_matrices(), seed=st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_seeded_scheduler_monotone_property(name, etc, seed):
+    """E22: with seeding, makespans never increase — any heuristic, any
+    instance, any tie policy."""
+    scheduler = SeededIterativeScheduler(
+        get_heuristic(name), tie_breaker=RandomTieBreaker(rng=seed)
+    )
+    result = scheduler.run(etc)
+    spans = result.makespans()
+    assert all(b <= a + 1e-9 for a, b in zip(spans, spans[1:]))
+
+
+@given(etc=etc_matrices())
+@settings(max_examples=20, deadline=None)
+def test_iteration_count_bounded_by_machines(etc):
+    result = IterativeScheduler(get_heuristic("mct")).run(etc)
+    assert 1 <= result.num_iterations <= etc.num_machines
+
+
+@given(etc=etc_matrices())
+@settings(max_examples=20, deadline=None)
+def test_frozen_sets_partition_tasks(etc):
+    """Every task is frozen exactly once across the whole run."""
+    result = IterativeScheduler(get_heuristic("sufferage")).run(etc)
+    frozen = [t for rec in result.iterations for t in rec.frozen_tasks]
+    last = result.iterations[-1]
+    # tasks remaining with the final machine set but not frozen are
+    # those mapped in the last iteration to surviving machines
+    leftovers = [
+        a.task
+        for a in last.mapping.assignments
+        if a.machine != last.frozen_machine
+    ]
+    assert sorted(frozen + leftovers) == sorted(etc.tasks)
+
+
+@pytest.mark.parametrize("name", ["mct", "met", "min-min"])
+@given(etc=etc_matrices(), ready_seed=st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_theorem_invariance_with_nonzero_ready_times(name, etc, ready_seed):
+    """The paper proves the theorems for zero ready times 'without loss
+    of generality'; the generalisation (ready times reset identically
+    each iteration) must hold for arbitrary initial ready times."""
+    import numpy as np
+
+    ready = np.random.default_rng(ready_seed).uniform(0, 30, etc.num_machines)
+    result = IterativeScheduler(get_heuristic(name)).run(
+        etc, ready_times=ready.tolist()
+    )
+    assert not result.mapping_changed()
+    assert not result.makespan_increased()
+
+
+@given(etc=etc_matrices())
+@settings(max_examples=15, deadline=None)
+def test_freeze_policies_validate_on_random_instances(etc):
+    from repro.core.freezing import FREEZE_POLICIES
+
+    for policy in FREEZE_POLICIES.values():
+        result = IterativeScheduler(
+            get_heuristic("sufferage"), freeze_policy=policy
+        ).run(etc)
+        validate_iterative_result(result)

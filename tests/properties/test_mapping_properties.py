@@ -1,0 +1,117 @@
+"""Property-based tests for the scheduling core (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import Mapping, finish_times_for_vector
+from repro.core.validation import validate_mapping
+from repro.etc.matrix import ETCMatrix
+
+
+@st.composite
+def etc_matrices(draw, max_tasks=8, max_machines=5):
+    """Random small ETC matrices with values in [0.5, 100]."""
+    num_tasks = draw(st.integers(1, max_tasks))
+    num_machines = draw(st.integers(1, max_machines))
+    values = draw(
+        st.lists(
+            st.lists(
+                st.floats(0.5, 100.0, allow_nan=False, allow_infinity=False),
+                min_size=num_machines,
+                max_size=num_machines,
+            ),
+            min_size=num_tasks,
+            max_size=num_tasks,
+        )
+    )
+    return ETCMatrix(values)
+
+
+@st.composite
+def etc_with_assignment(draw):
+    etc = draw(etc_matrices())
+    vec = draw(
+        st.lists(
+            st.integers(0, etc.num_machines - 1),
+            min_size=etc.num_tasks,
+            max_size=etc.num_tasks,
+        )
+    )
+    return etc, vec
+
+
+class TestEq1Properties:
+    @given(etc_with_assignment())
+    @settings(max_examples=80, deadline=None)
+    def test_completion_equals_start_plus_etc(self, data):
+        etc, vec = data
+        mapping = Mapping(etc)
+        for i, task in enumerate(etc.tasks):
+            a = mapping.assign(task, etc.machines[vec[i]])
+            assert a.completion == a.start + etc.etc(task, a.machine)
+        validate_mapping(mapping)
+
+    @given(etc_with_assignment())
+    @settings(max_examples=80, deadline=None)
+    def test_finish_is_ready_plus_load_sum(self, data):
+        """Machine finish time == initial ready + sum of its tasks'
+        ETCs, independent of assignment order."""
+        etc, vec = data
+        mapping = Mapping(etc)
+        for i, task in enumerate(etc.tasks):
+            mapping.assign(task, etc.machines[vec[i]])
+        finish = mapping.finish_time_vector()
+        expected = finish_times_for_vector(etc, np.array(vec))
+        assert np.allclose(finish, expected)
+
+    @given(etc_with_assignment())
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_is_max_finish(self, data):
+        etc, vec = data
+        mapping = Mapping(etc)
+        for i, task in enumerate(etc.tasks):
+            mapping.assign(task, etc.machines[vec[i]])
+        assert mapping.makespan() == max(mapping.machine_finish_times().values())
+
+    @given(etc_with_assignment(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_order_permutation_preserves_finish_times(self, data, seed):
+        """Per-machine finishing times don't depend on global order."""
+        etc, vec = data
+        order = np.random.default_rng(seed).permutation(etc.num_tasks)
+        forward = Mapping(etc)
+        for i, task in enumerate(etc.tasks):
+            forward.assign(task, etc.machines[vec[i]])
+        shuffled = Mapping(etc)
+        for i in order:
+            shuffled.assign(etc.tasks[i], etc.machines[vec[i]])
+        assert np.allclose(
+            forward.finish_time_vector(), shuffled.finish_time_vector()
+        )
+        assert forward.same_assignments(shuffled)
+
+
+class TestSubmatrixProperties:
+    @given(etc_matrices(max_tasks=6, max_machines=4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_submatrix_values_agree_with_parent(self, etc, data):
+        tasks = data.draw(
+            st.lists(
+                st.sampled_from(list(etc.tasks)), min_size=1, unique=True
+            )
+        )
+        machines = data.draw(
+            st.lists(
+                st.sampled_from(list(etc.machines)), min_size=1, unique=True
+            )
+        )
+        sub = etc.submatrix(tasks=tasks, machines=machines)
+        for t in tasks:
+            for m in machines:
+                assert sub.etc(t, m) == etc.etc(t, m)
+
+    @given(etc_matrices(max_tasks=6, max_machines=4))
+    @settings(max_examples=40, deadline=None)
+    def test_full_submatrix_is_identity(self, etc):
+        assert etc.submatrix() == etc

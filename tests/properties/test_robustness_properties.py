@@ -1,0 +1,88 @@
+"""Property-based tests for the robustness analysis (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.robustness import (
+    perturbed_finish_times,
+    robustness_radius,
+)
+from repro.core.schedule import Mapping
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import MCT
+
+
+@st.composite
+def mapped_instances(draw, max_tasks=8, max_machines=4):
+    num_tasks = draw(st.integers(1, max_tasks))
+    num_machines = draw(st.integers(1, max_machines))
+    values = draw(
+        st.lists(
+            st.lists(
+                st.floats(0.5, 50.0, allow_nan=False, allow_infinity=False),
+                min_size=num_machines,
+                max_size=num_machines,
+            ),
+            min_size=num_tasks,
+            max_size=num_tasks,
+        )
+    )
+    etc = ETCMatrix(values)
+    return MCT().map_tasks(etc)
+
+
+@given(mapping=mapped_instances())
+@settings(max_examples=40, deadline=None)
+def test_zero_error_is_identity(mapping):
+    finish = perturbed_finish_times(mapping, np.zeros(mapping.etc.num_tasks))
+    assert np.allclose(finish, mapping.finish_time_vector())
+
+
+@given(mapping=mapped_instances(), scale=st.floats(-0.5, 2.0))
+@settings(max_examples=40, deadline=None)
+def test_uniform_error_scales_loads_exactly(mapping, scale):
+    """Uniform relative error e multiplies every machine's *load* by
+    (1+e) while leaving ready offsets fixed."""
+    errors = np.full(mapping.etc.num_tasks, scale)
+    finish = perturbed_finish_times(mapping, errors)
+    ready = mapping.initial_ready_times()
+    loads = mapping.finish_time_vector() - ready
+    assert np.allclose(finish, ready + (1 + scale) * loads)
+
+
+@given(mapping=mapped_instances(), seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_monotone_in_errors(mapping, seed):
+    """Pointwise larger errors never decrease any finishing time."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-0.5, 0.5, mapping.etc.num_tasks)
+    bigger = base + rng.uniform(0.0, 0.5, mapping.etc.num_tasks)
+    f_base = perturbed_finish_times(mapping, base)
+    f_bigger = perturbed_finish_times(mapping, bigger)
+    assert np.all(f_bigger >= f_base - 1e-9)
+
+
+@given(mapping=mapped_instances())
+@settings(max_examples=40, deadline=None)
+def test_radius_certificate_is_tight(mapping):
+    """Errors at the radius keep the bound; a hair beyond may break it,
+    and the bound holds for every |e| <= radius drawn at random."""
+    radius = robustness_radius(mapping, tolerance=1.25)
+    bound = 1.25 * mapping.makespan()
+    if not np.isfinite(radius):
+        return
+    worst = perturbed_finish_times(
+        mapping, np.full(mapping.etc.num_tasks, radius)
+    ).max()
+    assert worst <= bound + 1e-6 * bound
+    rng = np.random.default_rng(0)
+    inside = rng.uniform(-min(radius, 0.9), radius, mapping.etc.num_tasks)
+    assert perturbed_finish_times(mapping, inside).max() <= bound + 1e-6 * bound
+
+
+@given(mapping=mapped_instances(), t1=st.floats(1.05, 1.5), t2=st.floats(1.5, 3.0))
+@settings(max_examples=30, deadline=None)
+def test_radius_monotone_in_tolerance(mapping, t1, t2):
+    assert robustness_radius(mapping, t2) >= robustness_radius(mapping, t1) - 1e-12

@@ -1,0 +1,105 @@
+"""Property-based tests for the simulator substrate (hypothesis).
+
+The central cross-validation property (DESIGN.md E25): for any instance
+and any heuristic, the discrete-event execution of a mapping measures
+exactly the finishing times the analytic Eq. (1) bookkeeping predicts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import get_heuristic
+from repro.sim.hcsystem import (
+    ArrivalWorkload,
+    DynamicHCSimulation,
+    HCSystem,
+    MCTOnline,
+)
+
+
+@st.composite
+def etc_matrices(draw, max_tasks=8, max_machines=4):
+    num_tasks = draw(st.integers(1, max_tasks))
+    num_machines = draw(st.integers(1, max_machines))
+    values = draw(
+        st.lists(
+            st.lists(
+                st.floats(0.5, 50.0, allow_nan=False, allow_infinity=False),
+                min_size=num_machines,
+                max_size=num_machines,
+            ),
+            min_size=num_tasks,
+            max_size=num_tasks,
+        )
+    )
+    return ETCMatrix(values)
+
+
+@pytest.mark.parametrize("name", ["mct", "met", "min-min", "sufferage", "olb"])
+@given(etc=etc_matrices())
+@settings(max_examples=20, deadline=None)
+def test_simulated_equals_analytic(name, etc):
+    mapping = get_heuristic(name).map_tasks(etc)
+    measured = HCSystem(etc).measured_finish_times(mapping)
+    analytic = mapping.machine_finish_times()
+    for machine in etc.machines:
+        assert measured[machine] == pytest.approx(analytic[machine])
+
+
+@given(etc=etc_matrices(), ready_seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_simulated_equals_analytic_with_ready_times(etc, ready_seed):
+    import numpy as np
+
+    ready = np.random.default_rng(ready_seed).uniform(0, 20, etc.num_machines)
+    mapping = get_heuristic("mct").map_tasks(etc, ready.tolist())
+    measured = HCSystem(etc, ready.tolist()).measured_finish_times(mapping)
+    analytic = mapping.machine_finish_times()
+    for machine in etc.machines:
+        assert measured[machine] == pytest.approx(analytic[machine])
+
+
+@given(etc=etc_matrices(max_tasks=6), data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_dynamic_conservation_properties(etc, data):
+    """Every arrived task executes exactly once, never before arrival,
+    and machines never overlap — for arbitrary arrival patterns."""
+    arrivals = data.draw(
+        st.lists(
+            st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=etc.num_tasks,
+            max_size=etc.num_tasks,
+        )
+    )
+    workload = ArrivalWorkload(etc=etc, arrivals=tuple(arrivals))
+    trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+    assert len(trace) == etc.num_tasks
+    assert {r.task for r in trace.records} == set(etc.tasks)
+    for record in trace.records:
+        assert record.start >= record.arrival - 1e-9
+    for machine in etc.machines:
+        recs = trace.machine_records(machine)
+        for prev, cur in zip(recs, recs[1:]):
+            assert cur.start >= prev.finish - 1e-9
+
+
+@given(etc=etc_matrices(max_tasks=6), data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_dynamic_batch_conservation(etc, data):
+    arrivals = data.draw(
+        st.lists(
+            st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+            min_size=etc.num_tasks,
+            max_size=etc.num_tasks,
+        )
+    )
+    workload = ArrivalWorkload(etc=etc, arrivals=tuple(arrivals))
+    trace = DynamicHCSimulation(
+        workload, batch_heuristic=get_heuristic("min-min"), batch_interval=10.0
+    ).run()
+    assert len(trace) == etc.num_tasks
+    for record in trace.records:
+        duration = etc.etc(record.task, record.machine)
+        assert record.finish - record.start == pytest.approx(duration)

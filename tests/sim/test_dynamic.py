@@ -1,0 +1,144 @@
+"""Unit tests for the dynamic HC simulation (arrivals, on-line policies)."""
+
+import numpy as np
+import pytest
+
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import ConfigurationError
+from repro.heuristics import get_heuristic
+from repro.sim.hcsystem import (
+    ArrivalWorkload,
+    DynamicHCSimulation,
+    KPBOnline,
+    MCTOnline,
+    METOnline,
+    OLBOnline,
+    SWAOnline,
+    poisson_workload,
+)
+
+
+@pytest.fixture
+def etc():
+    return generate_range_based(30, 4, rng=0)
+
+
+@pytest.fixture
+def workload(etc):
+    return poisson_workload(etc, rate=0.001, rng=1)
+
+
+class TestWorkload:
+    def test_poisson_sorted_cumulative(self, etc):
+        wl = poisson_workload(etc, rate=0.01, rng=0)
+        arr = np.asarray(wl.arrivals)
+        assert (np.diff(arr) > 0).all()
+        assert len(arr) == etc.num_tasks
+
+    def test_poisson_rate_validation(self, etc):
+        with pytest.raises(ConfigurationError):
+            poisson_workload(etc, rate=0.0)
+
+    def test_workload_validation(self, etc):
+        with pytest.raises(ConfigurationError):
+            ArrivalWorkload(etc=etc, arrivals=(1.0,))
+        with pytest.raises(ConfigurationError):
+            ArrivalWorkload(etc=etc, arrivals=tuple([-1.0] * etc.num_tasks))
+
+    def test_arrival_of(self, etc):
+        wl = ArrivalWorkload(etc=etc, arrivals=tuple(float(i) for i in range(30)))
+        assert wl.arrival_of("t3") == 3.0
+
+
+class TestConfigValidation:
+    def test_exactly_one_mode(self, workload):
+        with pytest.raises(ConfigurationError):
+            DynamicHCSimulation(workload)
+        with pytest.raises(ConfigurationError):
+            DynamicHCSimulation(
+                workload,
+                policy=MCTOnline(),
+                batch_heuristic=get_heuristic("min-min"),
+            )
+
+    def test_batch_interval_positive(self, workload):
+        with pytest.raises(ConfigurationError):
+            DynamicHCSimulation(
+                workload, batch_heuristic=get_heuristic("min-min"), batch_interval=0.0
+            )
+
+    def test_policy_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            KPBOnline(percent=0.0)
+        with pytest.raises(ConfigurationError):
+            SWAOnline(low=0.9, high=0.5)
+
+
+class TestImmediateMode:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [MCTOnline, METOnline, OLBOnline, lambda: KPBOnline(percent=50.0), SWAOnline],
+    )
+    def test_all_tasks_execute_once(self, workload, policy_factory):
+        trace = DynamicHCSimulation(workload, policy=policy_factory()).run()
+        assert len(trace) == workload.etc.num_tasks
+        assert {r.task for r in trace.records} == set(workload.etc.tasks)
+
+    def test_no_task_starts_before_arrival(self, workload):
+        trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        for record in trace.records:
+            assert record.start >= record.arrival - 1e-9
+
+    def test_machines_never_overlap(self, workload):
+        trace = DynamicHCSimulation(workload, policy=METOnline()).run()
+        for machine in workload.etc.machines:
+            recs = trace.machine_records(machine)
+            for prev, cur in zip(recs, recs[1:]):
+                assert cur.start >= prev.finish - 1e-9
+
+    def test_met_online_uses_fastest_machine(self, etc):
+        wl = poisson_workload(etc, rate=0.0001, rng=2)  # sparse arrivals
+        trace = DynamicHCSimulation(wl, policy=METOnline()).run()
+        for record in trace.records:
+            row = etc.task_row(record.task)
+            assert etc.etc(record.task, record.machine) == row.min()
+
+    def test_mct_beats_olb_on_heterogeneous_load(self, etc):
+        wl = poisson_workload(etc, rate=0.01, rng=3)
+        mct = DynamicHCSimulation(wl, policy=MCTOnline()).run().makespan()
+        olb = DynamicHCSimulation(wl, policy=OLBOnline()).run().makespan()
+        assert mct <= olb
+
+    def test_deterministic_rerun(self, workload):
+        a = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        b = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        assert [(r.task, r.machine) for r in a.records] == [
+            (r.task, r.machine) for r in b.records
+        ]
+
+
+class TestBatchMode:
+    @pytest.mark.parametrize("name", ["min-min", "sufferage", "max-min"])
+    def test_all_tasks_execute_once(self, workload, name):
+        trace = DynamicHCSimulation(
+            workload, batch_heuristic=get_heuristic(name), batch_interval=100.0
+        ).run()
+        assert len(trace) == workload.etc.num_tasks
+
+    def test_tail_flush_handles_late_pending(self, etc):
+        """All tasks arrive nearly simultaneously after the first mapping
+        event — the final flush must still map everything."""
+        arrivals = tuple([0.0] + [1e-6] * (etc.num_tasks - 1))
+        wl = ArrivalWorkload(etc=etc, arrivals=arrivals)
+        trace = DynamicHCSimulation(
+            wl, batch_heuristic=get_heuristic("min-min"), batch_interval=1e9
+        ).run()
+        assert len(trace) == etc.num_tasks
+
+    def test_no_start_before_arrival(self, workload):
+        trace = DynamicHCSimulation(
+            workload, batch_heuristic=get_heuristic("min-min"), batch_interval=50.0
+        ).run()
+        for record in trace.records:
+            assert record.start >= record.arrival - 1e-9

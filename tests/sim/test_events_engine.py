@@ -1,0 +1,143 @@
+"""Unit tests for the event queue and the DES engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+
+
+class TestEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            Event(time=-1.0, kind="x")
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(SimulationError):
+            Event(time=float("nan"), kind="x")
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(Event(5.0, "b"))
+        q.push(Event(1.0, "a"))
+        assert q.pop().kind == "a"
+        assert q.pop().kind == "b"
+
+    def test_fifo_among_simultaneous(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(Event(2.0, f"e{i}"))
+        kinds = [q.pop().kind for _ in range(5)]
+        assert kinds == [f"e{i}" for i in range(5)]
+
+    def test_priority_before_seq(self):
+        q = EventQueue()
+        q.push(Event(1.0, "late", priority=5))
+        q.push(Event(1.0, "early", priority=0))
+        assert q.pop().kind == "early"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        assert not q
+        q.push(Event(3.0, "x"))
+        assert q.peek_time() == 3.0
+        assert len(q) == 1
+
+
+class TestSimulator:
+    def test_clock_advances_monotonically(self):
+        sim = Simulator()
+        times = []
+        sim.on("tick", lambda e: times.append(sim.now))
+        for t in (3.0, 1.0, 2.0):
+            sim.schedule_at(t, "tick")
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_schedule_relative(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(event):
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.schedule(2.0, "step")
+
+        sim.on("step", chain)
+        sim.schedule(1.0, "step")
+        sim.run()
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        sim.on("x", lambda e: None)
+        sim.schedule_at(5.0, "x")
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, "x")
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, "x")
+
+    def test_missing_handler_raises(self):
+        sim = Simulator()
+        sim.schedule(0.0, "orphan")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_multiple_handlers_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.on("e", lambda ev: order.append("first"))
+        sim.on("e", lambda ev: order.append("second"))
+        sim.schedule(0.0, "e")
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_until_stops_before_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.on("x", lambda e: fired.append(sim.now))
+        sim.schedule_at(1.0, "x")
+        sim.schedule_at(10.0, "x")
+        end = sim.run(until=5.0)
+        assert fired == [1.0]
+        assert end == 5.0
+        # the future event is still pending and fires on the next run
+        sim.run()
+        assert fired == [1.0, 10.0]
+
+    def test_until_advances_idle_clock(self):
+        sim = Simulator()
+        assert sim.run(until=7.5) == 7.5
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+        sim.on("loop", lambda e: sim.schedule(1.0, "loop"))
+        sim.schedule(0.0, "loop")
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        sim.on("x", lambda e: None)
+        for _ in range(4):
+            sim.schedule(0.0, "x")
+        sim.run()
+        assert sim.processed_events == 4
+        assert sim.pending_events == 0
+
+    def test_payload_passthrough(self):
+        sim = Simulator()
+        got = []
+        sim.on("x", lambda e: got.append(e.payload))
+        sim.schedule(0.0, "x", payload={"k": 1})
+        sim.run()
+        assert got == [{"k": 1}]

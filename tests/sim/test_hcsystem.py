@@ -1,0 +1,77 @@
+"""Unit tests for the static HC system simulator."""
+
+import pytest
+
+from repro.core.schedule import Mapping
+from repro.etc.generation import generate_range_based
+from repro.etc.matrix import ETCMatrix
+from repro.exceptions import SimulationError
+from repro.heuristics import get_heuristic, heuristic_names
+from repro.sim.hcsystem import HCSystem
+
+
+class TestStaticExecution:
+    def test_measured_matches_analytic_simple(self, tiny_etc):
+        m = Mapping(tiny_etc)
+        m.assign("a", "x")
+        m.assign("b", "x")
+        measured = HCSystem(tiny_etc).measured_finish_times(m)
+        assert measured == m.machine_finish_times()
+
+    def test_measured_matches_analytic_all_heuristics(self):
+        etc = generate_range_based(25, 5, rng=0)
+        system = HCSystem(etc)
+        for name in heuristic_names():
+            kwargs = {"iterations": 30, "rng": 0} if name == "genitor" else {}
+            if name == "random":
+                kwargs = {"rng": 0}
+            mapping = get_heuristic(name, **kwargs).map_tasks(etc)
+            measured = system.measured_finish_times(mapping)
+            analytic = mapping.machine_finish_times()
+            for machine in etc.machines:
+                assert measured[machine] == pytest.approx(analytic[machine]), name
+
+    def test_initial_ready_delays_start(self, tiny_etc):
+        m = Mapping(tiny_etc, {"x": 4.0})
+        m.assign("a", "x")
+        trace = HCSystem(tiny_etc, {"x": 4.0}).execute(m)
+        record = trace.execution_of("a")
+        assert record.start == 4.0
+        assert record.finish == 5.0
+
+    def test_execution_order_respects_assignment_order(self, square_etc):
+        m = Mapping(square_etc)
+        m.assign("t3", "m0")
+        m.assign("t0", "m0")
+        trace = HCSystem(square_etc).execute(m)
+        recs = trace.machine_records("m0")
+        assert [r.task for r in recs] == ["t3", "t0"]
+        assert recs[1].start == pytest.approx(recs[0].finish)
+
+    def test_no_overlap_on_any_machine(self):
+        etc = generate_range_based(40, 4, rng=1)
+        mapping = get_heuristic("mct").map_tasks(etc)
+        trace = HCSystem(etc).execute(mapping)
+        for machine in etc.machines:
+            recs = trace.machine_records(machine)
+            for prev, cur in zip(recs, recs[1:]):
+                assert cur.start >= prev.finish - 1e-9
+
+    def test_partial_mapping_executes_partially(self, square_etc):
+        m = Mapping(square_etc)
+        m.assign("t0", "m0")
+        trace = HCSystem(square_etc).execute(m)
+        assert len(trace) == 1
+
+    def test_wrong_etc_rejected(self, tiny_etc, square_etc):
+        m = Mapping(square_etc)
+        m.assign("t0", "m0")
+        with pytest.raises(SimulationError):
+            HCSystem(tiny_etc).execute(m)
+
+    def test_idle_machines_report_initial_ready(self):
+        etc = ETCMatrix([[1.0, 2.0]])
+        m = Mapping(etc, {"m1": 9.0})
+        m.assign("t0", "m0")
+        measured = HCSystem(etc, {"m1": 9.0}).measured_finish_times(m)
+        assert measured == {"m0": 1.0, "m1": 9.0}

@@ -1,0 +1,128 @@
+"""Focused tests for the on-line policy objects (decision semantics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ties import ScriptedTieBreaker
+from repro.etc.matrix import ETCMatrix
+from repro.sim.hcsystem import (
+    ArrivalWorkload,
+    DynamicHCSimulation,
+    KPBOnline,
+    MCTOnline,
+    METOnline,
+    OLBOnline,
+    SWAOnline,
+)
+
+
+@pytest.fixture
+def etc_row():
+    return np.array([4.0, 2.0, 6.0])
+
+
+class TestChooseSemantics:
+    def test_mct_uses_expected_free_plus_etc(self, etc_row):
+        free = np.array([10.0, 10.0, 0.0])
+        # CTs: 14, 12, 6 -> machine 2
+        assert MCTOnline().choose(etc_row, free, now=0.0) == 2
+
+    def test_mct_clamps_free_to_now(self, etc_row):
+        """A machine whose queue drained in the past is free *now*."""
+        free = np.array([0.0, 0.0, 0.0])
+        assert MCTOnline().choose(etc_row, free, now=100.0) == 1  # min ETC
+
+    def test_met_ignores_load(self, etc_row):
+        free = np.array([1e9, 0.0, 0.0])
+        assert METOnline().choose(etc_row, free, now=0.0) == 1
+
+    def test_olb_ignores_etc(self, etc_row):
+        free = np.array([5.0, 9.0, 1.0])
+        assert OLBOnline().choose(etc_row, free, now=0.0) == 2
+
+    def test_kpb_restricts_to_fast_subset(self, etc_row):
+        # 3 machines at 34% -> subset size 1 -> MET behaviour
+        policy = KPBOnline(percent=34.0)
+        free = np.array([0.0, 1e9, 0.0])
+        assert policy.choose(etc_row, free, now=0.0) == 1
+
+    def test_kpb_full_percent_is_mct(self, etc_row):
+        free = np.array([10.0, 10.0, 0.0])
+        assert KPBOnline(percent=100.0).choose(etc_row, free, 0.0) == (
+            MCTOnline().choose(etc_row, free, 0.0)
+        )
+
+    def test_swa_starts_mct_switches_to_met(self, etc_row):
+        policy = SWAOnline(low=0.2, high=0.8)
+        # all idle -> BI nan -> stays MCT
+        assert policy.choose(etc_row, np.zeros(3), now=0.0) == 1
+        # perfectly balanced load -> BI = 1 > high -> MET for this call
+        balanced = np.array([5.0, 5.0, 5.0])
+        assert policy._current == "mct"
+        policy.choose(etc_row, balanced, now=0.0)
+        assert policy._current == "met"
+
+    def test_swa_switches_back_on_imbalance(self, etc_row):
+        policy = SWAOnline(low=0.5, high=0.8)
+        policy._current = "met"
+        skewed = np.array([1.0, 10.0, 10.0])  # BI = 0.1 < low
+        policy.choose(etc_row, skewed, now=0.0)
+        assert policy._current == "mct"
+
+    def test_policies_respect_tie_breakers(self):
+        row = np.array([3.0, 3.0])
+        scripted = METOnline(tie_breaker=ScriptedTieBreaker([1]))
+        assert scripted.choose(row, np.zeros(2), 0.0) == 1
+
+
+class TestSimulationDetails:
+    def test_simultaneous_arrivals_processed_fifo(self):
+        etc = ETCMatrix([[1.0, 9.0], [1.0, 9.0], [1.0, 9.0]])
+        workload = ArrivalWorkload(etc=etc, arrivals=(0.0, 0.0, 0.0))
+        trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        # MCT with queue-awareness: t0 -> m0; t1 sees m0 busy until 1
+        # (CT 2) vs m1 (CT 9) -> m0; t2 -> m0 (CT 3) ...
+        assert [r.task for r in trace.machine_records("m0")] == ["t0", "t1", "t2"]
+        assert trace.makespan() == pytest.approx(3.0)
+
+    def test_expected_free_accounts_for_queued_work(self):
+        """Two quick arrivals: the second must see the first's load."""
+        etc = ETCMatrix([[10.0, 12.0], [10.0, 12.0]])
+        workload = ArrivalWorkload(etc=etc, arrivals=(0.0, 1.0))
+        trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        # t0 -> m0 (CT 10); at t=1, m0 CT = 20 vs m1 CT = 13 -> m1
+        assert trace.execution_of("t0").machine == "m0"
+        assert trace.execution_of("t1").machine == "m1"
+
+    def test_idle_period_then_burst(self):
+        etc = ETCMatrix([[2.0, 3.0], [2.0, 3.0]])
+        workload = ArrivalWorkload(etc=etc, arrivals=(0.0, 100.0))
+        trace = DynamicHCSimulation(workload, policy=MCTOnline()).run()
+        second = trace.execution_of("t1")
+        assert second.start == pytest.approx(100.0)
+        assert second.machine == "m0"  # drained long ago
+
+    def test_batch_mode_single_task(self):
+        etc = ETCMatrix([[2.0, 3.0]])
+        workload = ArrivalWorkload(etc=etc, arrivals=(5.0,))
+        from repro.heuristics import get_heuristic
+
+        trace = DynamicHCSimulation(
+            workload, batch_heuristic=get_heuristic("min-min"),
+            batch_interval=1.0,
+        ).run()
+        assert trace.execution_of("t0").start >= 5.0
+
+    def test_swa_online_full_run_deterministic(self):
+        etc = ETCMatrix(
+            np.random.default_rng(3).uniform(1, 10, size=(20, 4))
+        )
+        arrivals = tuple(float(i) for i in range(20))
+        workload = ArrivalWorkload(etc=etc, arrivals=arrivals)
+        a = DynamicHCSimulation(workload, policy=SWAOnline()).run()
+        b = DynamicHCSimulation(workload, policy=SWAOnline()).run()
+        assert [(r.task, r.machine) for r in a.records] == [
+            (r.task, r.machine) for r in b.records
+        ]

@@ -1,0 +1,73 @@
+"""Unit tests for repro.sim.trace."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.trace import ExecutionTrace, TaskExecution
+
+
+@pytest.fixture
+def trace():
+    tr = ExecutionTrace(("m1", "m2"))
+    tr.add(TaskExecution("a", "m1", start=0.0, finish=2.0))
+    tr.add(TaskExecution("b", "m1", start=2.0, finish=5.0))
+    tr.add(TaskExecution("c", "m2", start=1.0, finish=4.0, arrival=0.5))
+    return tr
+
+
+class TestRecording:
+    def test_duplicate_task_rejected(self, trace):
+        with pytest.raises(SimulationError):
+            trace.add(TaskExecution("a", "m2", 0.0, 1.0))
+
+    def test_unknown_machine_rejected(self, trace):
+        with pytest.raises(SimulationError):
+            trace.add(TaskExecution("z", "nope", 0.0, 1.0))
+
+    def test_negative_duration_rejected(self, trace):
+        with pytest.raises(SimulationError):
+            trace.add(TaskExecution("z", "m1", 5.0, 4.0))
+
+    def test_execution_lookup(self, trace):
+        assert trace.execution_of("b").finish == 5.0
+        with pytest.raises(SimulationError):
+            trace.execution_of("ghost")
+
+    def test_len(self, trace):
+        assert len(trace) == 3
+
+
+class TestQueries:
+    def test_machine_records_ordered(self, trace):
+        recs = trace.machine_records("m1")
+        assert [r.task for r in recs] == ["a", "b"]
+
+    def test_finish_times(self, trace):
+        assert trace.machine_finish_times() == {"m1": 5.0, "m2": 4.0}
+
+    def test_finish_times_with_initial_ready(self):
+        tr = ExecutionTrace(("m1", "m2"))
+        tr.add(TaskExecution("a", "m1", 3.0, 4.0))
+        finish = tr.machine_finish_times(initial_ready={"m1": 3.0, "m2": 7.0})
+        assert finish == {"m1": 4.0, "m2": 7.0}
+
+    def test_makespan(self, trace):
+        assert trace.makespan() == 5.0
+
+    def test_makespan_empty(self):
+        assert ExecutionTrace(("m1",)).makespan() == 0.0
+
+    def test_busy_time_and_utilisation(self, trace):
+        assert trace.machine_busy_time("m1") == 5.0
+        assert trace.utilisation("m1") == pytest.approx(1.0)
+        assert trace.utilisation("m2") == pytest.approx(3.0 / 5.0)
+
+    def test_utilisation_empty_trace(self):
+        assert ExecutionTrace(("m1",)).utilisation("m1") == 0.0
+
+    def test_queue_wait(self, trace):
+        assert trace.execution_of("c").queue_wait == pytest.approx(0.5)
+        assert trace.mean_queue_wait() == pytest.approx((0 + 2.0 + 0.5) / 3)
+
+    def test_mean_queue_wait_empty(self):
+        assert ExecutionTrace(("m1",)).mean_queue_wait() == 0.0

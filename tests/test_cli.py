@@ -1,0 +1,213 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.etc.io import load_csv, load_json, save_csv
+from repro.etc.witness import minmin_example_etc
+
+
+@pytest.fixture
+def etc_file(tmp_path):
+    path = tmp_path / "suite.csv"
+    save_csv(minmin_example_etc(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_heuristic(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "--etc", "x.csv",
+                                       "--heuristic", "quantum"])
+
+    def test_rejects_unknown_heterogeneity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--tasks", "3",
+                                       "--machines", "2",
+                                       "--heterogeneity", "wild"])
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "etc.csv"
+        code = main(["generate", "--tasks", "6", "--machines", "3",
+                     "--seed", "1", "-o", str(out)])
+        assert code == 0
+        etc = load_csv(out)
+        assert etc.shape == (6, 3)
+
+    def test_writes_json(self, tmp_path):
+        out = tmp_path / "etc.json"
+        assert main(["generate", "--tasks", "4", "--machines", "2",
+                     "-o", str(out)]) == 0
+        assert load_json(out).shape == (4, 2)
+
+    def test_stdout_when_no_output(self, capsys):
+        assert main(["generate", "--tasks", "2", "--machines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("task,")
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", "--tasks", "5", "--machines", "3", "--seed", "9",
+              "-o", str(a)])
+        main(["generate", "--tasks", "5", "--machines", "3", "--seed", "9",
+              "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+    def test_cvb_method(self, tmp_path):
+        out = tmp_path / "etc.csv"
+        assert main(["generate", "--tasks", "4", "--machines", "2",
+                     "--method", "cvb", "-o", str(out)]) == 0
+
+
+class TestMap:
+    def test_prints_allocation_and_finish(self, etc_file, capsys):
+        assert main(["map", "--etc", etc_file, "--heuristic", "min-min"]) == 0
+        out = capsys.readouterr().out
+        assert "min-min mapping" in out
+        assert "<- makespan" in out
+
+    def test_gantt_flag(self, etc_file, capsys):
+        main(["map", "--etc", etc_file, "--gantt"])
+        out = capsys.readouterr().out
+        assert "|[" in out or "|" in out
+
+    def test_show_etc_flag(self, etc_file, capsys):
+        main(["map", "--etc", etc_file, "--show-etc"])
+        assert "ETC matrix" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["map", "--etc", "/nope/missing.csv"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestIterate:
+    def test_overview_and_comparison(self, etc_file, capsys):
+        assert main(["iterate", "--etc", etc_file,
+                     "--heuristic", "min-min"]) == 0
+        out = capsys.readouterr().out
+        assert "frozen" in out
+        assert "original vs iterative" in out
+
+    def test_warns_on_increase(self, tmp_path, capsys):
+        from repro.etc.witness import sufferage_example_etc
+
+        path = tmp_path / "suff.csv"
+        save_csv(sufferage_example_etc(), path)
+        assert main(["iterate", "--etc", str(path),
+                     "--heuristic", "sufferage"]) == 0
+        assert "INCREASED" in capsys.readouterr().out
+
+    def test_seeded_flag_suppresses_increase(self, tmp_path, capsys):
+        from repro.etc.witness import sufferage_example_etc
+
+        path = tmp_path / "suff.csv"
+        save_csv(sufferage_example_etc(), path)
+        assert main(["iterate", "--etc", str(path),
+                     "--heuristic", "sufferage", "--seeded"]) == 0
+        assert "WARNING" not in capsys.readouterr().out
+
+
+class TestStudyCompareSimulate:
+    def test_study_small(self, capsys):
+        assert main(["study", "--heuristics", "mct,sufferage",
+                     "--tasks", "10", "--machines", "3",
+                     "--instances", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sufferage" in out and "chg%" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--heuristics", "min-min,olb",
+                     "--tasks", "10", "--machines", "3",
+                     "--instances", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ETC class" in out
+
+    def test_simulate_immediate(self, capsys):
+        assert main(["simulate", "--tasks", "20", "--machines", "3",
+                     "--policy", "mct", "--rate", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "utilisation" in out
+
+    def test_simulate_batch(self, capsys):
+        assert main(["simulate", "--tasks", "15", "--machines", "3",
+                     "--policy", "batch-min-min", "--rate", "0.001",
+                     "--batch-interval", "100"]) == 0
+        assert "tasks executed  : 15" in capsys.readouterr().out
+
+    def test_simulate_unknown_policy(self, capsys):
+        assert main(["simulate", "--policy", "wishful"]) == 2
+
+
+class TestPaper:
+    def test_replays_all_examples(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("MAKESPAN INCREASED") == 3  # SWA, KPB, Sufferage
+        assert out.count("mapping unchanged") == 3   # Min-Min, MCT, MET
+
+
+class TestWitness:
+    def test_finds_sufferage_witness(self, capsys):
+        assert main(["witness", "--heuristic", "sufferage",
+                     "--trials", "3000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "peak" in out
+
+    def test_mct_deterministic_returns_3(self, capsys):
+        assert main(["witness", "--heuristic", "mct", "--trials", "300"]) == 3
+        assert "no makespan-increase witness" in capsys.readouterr().out
+
+    def test_random_ties_with_grid(self, capsys):
+        code = main(["witness", "--heuristic", "mct", "--ties", "random",
+                     "--grid", "1,2,3", "--tasks", "5", "--trials", "3000"])
+        assert code == 0
+
+    def test_writes_witness_file(self, tmp_path, capsys):
+        out = tmp_path / "witness.csv"
+        assert main(["witness", "--heuristic", "sufferage",
+                     "--trials", "3000", "--seed", "1",
+                     "-o", str(out)]) == 0
+        from repro.etc.io import load_csv
+
+        assert load_csv(out).num_machines == 3
+
+
+class TestExport:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "records.csv"
+        assert main(["export", "--heuristics", "mct",
+                     "--tasks", "8", "--machines", "3",
+                     "--instances", "2", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "original_makespan" in text.splitlines()[0]
+        assert len(text.splitlines()) == 3  # header + 2 records
+
+    def test_writes_json(self, tmp_path):
+        import json
+
+        out = tmp_path / "records.json"
+        assert main(["export", "--heuristics", "mct,sufferage",
+                     "--tasks", "8", "--machines", "3",
+                     "--instances", "2", "-o", str(out)]) == 0
+        rows = json.loads(out.read_text())
+        assert len(rows) == 4
+
+
+class TestIterateChart:
+    def test_chart_flag_renders_trajectory(self, tmp_path, capsys):
+        from repro.etc.generation import generate_range_based
+        from repro.etc.io import save_csv as _save
+
+        path = tmp_path / "big.csv"
+        _save(generate_range_based(12, 4, rng=0), path)
+        assert main(["iterate", "--etc", str(path),
+                     "--heuristic", "sufferage", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "per-iteration makespan" in out
+        assert "*" in out
