@@ -1,0 +1,17 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test smoke-obs bench
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Observability smoke: the obs-marked battery (trace replays, tracer /
+# metrics / export units, tracing-purity properties) plus one CLI
+# trace invocation end to end.
+smoke-obs:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m obs
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace --example min-min
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

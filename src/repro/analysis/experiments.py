@@ -24,6 +24,7 @@ from repro.etc.generation import Consistency, Heterogeneity, generate_ensemble
 from repro.etc.matrix import ETCMatrix
 from repro.exceptions import ConfigurationError
 from repro.heuristics.base import get_heuristic
+from repro.obs.tracer import get_tracer
 
 __all__ = ["ExperimentConfig", "RunRecord", "run_experiment", "stable_key"]
 
@@ -93,36 +94,44 @@ def run_experiment(config: ExperimentConfig) -> list[RunRecord]:
     """Execute the grid; returns one record per heuristic per instance."""
     root = np.random.SeedSequence(config.seed)
     instance_seed, heuristic_seed, tie_seed = root.spawn(3)
+    tracer = get_tracer()
     records: list[RunRecord] = []
 
     for het in config.heterogeneities:
         for cons in config.consistencies:
-            cell_rng = np.random.default_rng(
-                np.random.SeedSequence(
-                    entropy=instance_seed.entropy,
-                    spawn_key=(stable_key(het.value, cons.value),),
-                )
-            )
-            instances = generate_ensemble(
-                config.instances_per_cell,
-                config.num_tasks,
-                config.num_machines,
-                heterogeneity=het,
-                consistency=cons,
-                method=config.generation_method,
-                rng=cell_rng,
-            )
-            for name in config.heuristics:
-                h_seed, t_seed = np.random.SeedSequence(
-                    entropy=heuristic_seed.entropy,
-                    spawn_key=(stable_key(name, het.value, cons.value),),
-                ).spawn(2)
-                h_rng = np.random.default_rng(h_seed)
-                t_rng = np.random.default_rng(t_seed)
-                for idx, etc in enumerate(instances):
-                    records.append(
-                        _run_one(config, name, het, cons, idx, etc, h_rng, t_rng)
+            with tracer.span(
+                "experiment.cell",
+                heterogeneity=het.value,
+                consistency=cons.value,
+                instances=config.instances_per_cell,
+                heuristics=tuple(config.heuristics),
+            ):
+                cell_rng = np.random.default_rng(
+                    np.random.SeedSequence(
+                        entropy=instance_seed.entropy,
+                        spawn_key=(stable_key(het.value, cons.value),),
                     )
+                )
+                instances = generate_ensemble(
+                    config.instances_per_cell,
+                    config.num_tasks,
+                    config.num_machines,
+                    heterogeneity=het,
+                    consistency=cons,
+                    method=config.generation_method,
+                    rng=cell_rng,
+                )
+                for name in config.heuristics:
+                    h_seed, t_seed = np.random.SeedSequence(
+                        entropy=heuristic_seed.entropy,
+                        spawn_key=(stable_key(name, het.value, cons.value),),
+                    ).spawn(2)
+                    h_rng = np.random.default_rng(h_seed)
+                    t_rng = np.random.default_rng(t_seed)
+                    for idx, etc in enumerate(instances):
+                        records.append(
+                            _run_one(config, name, het, cons, idx, etc, h_rng, t_rng)
+                        )
     return records
 
 
@@ -150,6 +159,19 @@ def _run_one(
     )
     scheduler = scheduler_cls(heuristic, tie_breaker=breaker)
     result = scheduler.run(etc)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "experiment.run",
+            heuristic=name,
+            heterogeneity=het.value,
+            consistency=cons.value,
+            instance=idx,
+            iterations=result.num_iterations,
+            makespan=result.original.makespan,
+            makespan_increased=result.makespan_increased(),
+        )
+        tracer.count("experiment.runs")
     return RunRecord(
         heuristic=name,
         heterogeneity=het,

@@ -15,6 +15,14 @@ Constraint: the config must be picklable — in particular, pass
 heuristic kwargs as plain values (ints, floats, strings), not live
 ``numpy.random.Generator`` objects (stochastic heuristics are seeded
 internally per cell anyway).
+
+Observability: when the caller's current tracer (see
+:mod:`repro.obs.tracer`) is enabled, each worker process runs its cell
+under a fresh :class:`~repro.obs.tracer.CollectingTracer`, ships the
+resulting :class:`~repro.obs.tracer.ObsSnapshot` back with the records,
+and the parent merges the snapshots **in cell order** — so the merged
+event stream and counter totals are identical to a serial run under the
+same tracer (asserted by the property suite).
 """
 
 from __future__ import annotations
@@ -24,8 +32,18 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.analysis.experiments import ExperimentConfig, RunRecord, run_experiment
 from repro.exceptions import ConfigurationError
+from repro.obs.tracer import CollectingTracer, ObsSnapshot, get_tracer, use_tracer
 
 __all__ = ["split_into_cells", "run_experiment_parallel"]
+
+
+def _run_cell_observed(
+    config: ExperimentConfig,
+) -> tuple[list[RunRecord], ObsSnapshot]:
+    """Worker entry point: run one cell under a fresh collector."""
+    with use_tracer(CollectingTracer()) as tracer:
+        records = run_experiment(config)
+    return records, tracer.snapshot()
 
 
 def split_into_cells(config: ExperimentConfig) -> list[ExperimentConfig]:
@@ -52,9 +70,19 @@ def run_experiment_parallel(
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
     cells = split_into_cells(config)
     if len(cells) == 1 or max_workers == 1:
+        # Serial fallback: runs under the caller's tracer directly.
         return run_experiment(config)
+    tracer = get_tracer()
     records: list[RunRecord] = []
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for cell_records in pool.map(run_experiment, cells):
-            records.extend(cell_records)
+        if not tracer.enabled:
+            for cell_records in pool.map(run_experiment, cells):
+                records.extend(cell_records)
+        else:
+            # pool.map yields results in submission (= cell) order, so
+            # merging here is deterministic regardless of which worker
+            # finished first.
+            for cell_records, snapshot in pool.map(_run_cell_observed, cells):
+                records.extend(cell_records)
+                tracer.merge_snapshot(snapshot)
     return records

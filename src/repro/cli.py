@@ -8,6 +8,7 @@ Usage (after install)::
     python -m repro study    --tasks 30 --machines 8 --instances 20
     python -m repro compare  --heuristics min-min,mct,met,olb
     python -m repro simulate --tasks 100 --machines 8 --policy mct
+    python -m repro trace    --example min-min
     python -m repro paper
 
 Every subcommand accepts ``--seed`` and is fully reproducible.
@@ -306,6 +307,81 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The paper worked examples replayable by ``repro trace --example``.
+TRACE_EXAMPLES = ("min-min", "mct", "met", "swa", "kpb", "sufferage")
+
+
+def _trace_example_run(example: str):
+    """(heuristic, witness ETC) for one paper worked example."""
+    from repro.etc.witness import (
+        KPB_EXAMPLE_PERCENT,
+        SWA_EXAMPLE_HIGH_THRESHOLD,
+        SWA_EXAMPLE_LOW_THRESHOLD,
+        kpb_example_etc,
+        mct_met_example_etc,
+        minmin_example_etc,
+        sufferage_example_etc,
+        swa_example_etc,
+    )
+    from repro.heuristics import KPercentBest, Sufferage, SwitchingAlgorithm
+
+    table = {
+        "min-min": (lambda: get_heuristic("min-min"), minmin_example_etc),
+        "mct": (lambda: get_heuristic("mct"), mct_met_example_etc),
+        "met": (lambda: get_heuristic("met"), mct_met_example_etc),
+        "swa": (
+            lambda: SwitchingAlgorithm(
+                low=SWA_EXAMPLE_LOW_THRESHOLD, high=SWA_EXAMPLE_HIGH_THRESHOLD
+            ),
+            swa_example_etc,
+        ),
+        "kpb": (
+            lambda: KPercentBest(percent=KPB_EXAMPLE_PERCENT),
+            kpb_example_etc,
+        ),
+        "sufferage": (Sufferage, sufferage_example_etc),
+    }
+    make_heuristic, make_etc = table[example]
+    return make_heuristic(), make_etc()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Replay a run under a collecting tracer and print its decision trace."""
+    from repro.obs import CollectingTracer, render_events, use_tracer, write_jsonl
+
+    if bool(args.example) == bool(args.etc):
+        print("error: trace needs exactly one of --example or --etc",
+              file=sys.stderr)
+        return 2
+    if args.example:
+        heuristic, etc = _trace_example_run(args.example)
+        label = f"paper example {args.example!r}"
+    else:
+        etc = _load_etc(args.etc)
+        heuristic = _make_heuristic(args.heuristic, args.seed)
+        label = f"{args.heuristic} on {args.etc}"
+    breaker = make_tie_breaker(args.ties, rng=args.seed)
+    with use_tracer(CollectingTracer()) as tracer:
+        result = IterativeScheduler(heuristic, tie_breaker=breaker).run(etc)
+    print(f"decision trace — {label} "
+          f"({etc.num_tasks} tasks x {etc.num_machines} machines)")
+    print()
+    print(render_events(tracer.events))
+    print()
+    spans = " -> ".join(f"{s:g}" for s in result.makespans())
+    print(f"makespans per iteration : {spans}")
+    print(f"removal order           : {' -> '.join(result.removal_order)}")
+    if result.makespan_increased():
+        print("makespan increased      : yes (the paper's phenomenon)")
+    print("counters:")
+    for name, value in tracer.counters.as_dict().items():
+        print(f"  {name:<36} {value}")
+    if args.jsonl:
+        lines = write_jsonl(tracer, args.jsonl)
+        print(f"\nwrote {lines} JSONL records to {args.jsonl}")
+    return 0
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     """Replay the paper's five worked examples (compact form)."""
     from repro.etc.witness import (
@@ -461,6 +537,18 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("-o", "--output", required=True, help="CSV/JSON path")
     add_common(e)
     e.set_defaults(func=cmd_export)
+
+    t = sub.add_parser("trace", help="replay a run and print its decision trace")
+    t.add_argument("--example", choices=TRACE_EXAMPLES,
+                   help="replay one of the paper's worked examples")
+    t.add_argument("--etc", help="CSV/JSON ETC file (instead of --example)")
+    t.add_argument("--heuristic", choices=heuristic_names(), default="min-min",
+                   help="heuristic for --etc runs")
+    t.add_argument("--ties", choices=["deterministic", "random"],
+                   default="deterministic")
+    t.add_argument("--jsonl", help="also write the trace to a JSONL file")
+    add_common(t, etc_classes=False)
+    t.set_defaults(func=cmd_trace)
 
     r = sub.add_parser("report", help="generate the full reproduction report")
     r.add_argument("--quick", action="store_true", help="small ensembles")

@@ -30,6 +30,7 @@ from repro.core.ties import DeterministicTieBreaker, TieBreaker
 from repro.etc.matrix import ETCMatrix
 from repro.exceptions import ConfigurationError
 from repro.heuristics.base import Heuristic
+from repro.obs.tracer import get_tracer
 
 __all__ = ["IterationRecord", "IterativeResult", "IterativeScheduler"]
 
@@ -195,7 +196,34 @@ class IterativeScheduler:
         initial_ready = ready_time_vector(etc, ready_times)
         ready_by_machine = dict(zip(etc.machines, initial_ready.tolist()))
 
-        current_etc = etc
+        tracer = get_tracer()
+        with tracer.span(
+            "iterative.run",
+            heuristic=self.heuristic.name,
+            tasks=etc.num_tasks,
+            machines=etc.num_machines,
+        ):
+            final_finish, removal_order, records = self._iterate(
+                tracer, etc, ready_by_machine, max_iterations
+            )
+
+        return IterativeResult(
+            etc=etc,
+            heuristic_name=self.heuristic.name,
+            iterations=tuple(records),
+            final_finish_times=final_finish,
+            removal_order=tuple(removal_order),
+            initial_ready_times=dict(ready_by_machine),
+        )
+
+    def _iterate(
+        self,
+        tracer,
+        current_etc: ETCMatrix,
+        ready_by_machine: dict[str, float],
+        max_iterations: int | None,
+    ) -> tuple[dict[str, float], list[str], list[IterationRecord]]:
+        """The freeze/remap loop of :meth:`run` (one call per run)."""
         records: list[IterationRecord] = []
         final_finish: dict[str, float] = {}
         removal_order: list[str] = []
@@ -225,6 +253,16 @@ class IterativeScheduler:
             )
             final_finish[frozen_machine] = mapping.ready_time(frozen_machine)
             removal_order.append(frozen_machine)
+            if tracer.enabled:
+                tracer.event(
+                    "iterative.freeze",
+                    iteration=len(records) - 1,
+                    frozen_machine=frozen_machine,
+                    frozen_tasks=frozen_tasks,
+                    makespan=records[-1].makespan,
+                    machines_remaining=current_etc.num_machines - 1,
+                )
+                tracer.count("iterations")
 
             last_allowed = (
                 max_iterations is not None and len(records) >= max_iterations
@@ -241,24 +279,25 @@ class IterativeScheduler:
             if not surviving_tasks:
                 # Task pool exhausted: survivors never run anything and
                 # finish at their initial ready times.
-                for m in current_etc.machines:
-                    if m != frozen_machine:
-                        final_finish[m] = ready_by_machine[m]
-                        removal_order.append(m)
+                survivors = tuple(
+                    m for m in current_etc.machines if m != frozen_machine
+                )
+                for m in survivors:
+                    final_finish[m] = ready_by_machine[m]
+                    removal_order.append(m)
+                if tracer.enabled and survivors:
+                    tracer.event(
+                        "iterative.exhausted",
+                        iteration=len(records) - 1,
+                        survivors=survivors,
+                    )
                 break
 
             previous_mapping = mapping
             current_etc = current_etc.without_machine(frozen_machine, [])
             current_etc = current_etc.submatrix(tasks=surviving_tasks)
 
-        return IterativeResult(
-            etc=etc,
-            heuristic_name=self.heuristic.name,
-            iterations=tuple(records),
-            final_finish_times=final_finish,
-            removal_order=tuple(removal_order),
-            initial_ready_times=dict(ready_by_machine),
-        )
+        return final_finish, removal_order, records
 
     # ------------------------------------------------------------------
     def _map_iteration(

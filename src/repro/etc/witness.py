@@ -215,9 +215,11 @@ def sufferage_example_etc() -> ETCMatrix:
     :func:`repro.analysis.counterexamples.search_counterexample`)
     constrained to the precise completion-time vectors the paper's prose
     reports, then frozen here.  The resulting run uses 5 sufferage
-    passes per mapping and re-maps three of the six surviving tasks in
-    the first iterative mapping; the unit tests replay the full per-pass
-    trace and every documented number.
+    passes per mapping and re-maps two of the six surviving tasks in the
+    first iterative mapping (t5: m2 -> m3 and t6: m3 -> m2, because
+    removing m1 changes the sufferage values of t0 and t6 at their first
+    examination); the unit tests replay the full per-pass trace and
+    every documented number.
     """
     return ETCMatrix(
         _SUFFERAGE_VALUES,

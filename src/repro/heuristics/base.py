@@ -22,6 +22,7 @@ from repro.core.schedule import Mapping
 from repro.core.ties import DeterministicTieBreaker, TieBreaker
 from repro.etc.matrix import ETCMatrix
 from repro.exceptions import MappingError, UnknownHeuristicError
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "Heuristic",
@@ -75,11 +76,17 @@ class Heuristic(abc.ABC):
         """
         breaker = tie_breaker or DeterministicTieBreaker()
         mapping = Mapping(etc, ready_times)
-        if seed_mapping is not None and self.supports_seeding:
-            self._validate_seed(etc, seed_mapping)
-            self._run(mapping, breaker, seed_mapping=dict(seed_mapping))
-        else:
-            self._run(mapping, breaker, seed_mapping=None)
+        with get_tracer().span(
+            "heuristic.map",
+            heuristic=self.name,
+            tasks=etc.num_tasks,
+            machines=etc.num_machines,
+        ):
+            if seed_mapping is not None and self.supports_seeding:
+                self._validate_seed(etc, seed_mapping)
+                self._run(mapping, breaker, seed_mapping=dict(seed_mapping))
+            else:
+                self._run(mapping, breaker, seed_mapping=None)
         validate_complete(mapping)
         return mapping
 

@@ -37,6 +37,7 @@ from repro.core.ties import TieBreaker, tied_argmin
 from repro.etc.matrix import ETCMatrix
 from repro.exceptions import ConfigurationError
 from repro.heuristics.base import Heuristic, register_heuristic
+from repro.obs.tracer import get_tracer
 
 __all__ = ["KPercentBest", "KPBStep", "kpb_subset_size"]
 
@@ -87,6 +88,7 @@ class KPercentBest(Heuristic):
         seed_mapping: dict[str, str] | None,
     ) -> None:
         etc = mapping.etc
+        tracer = get_tracer()
         size = kpb_subset_size(etc.num_machines, self.percent)
         trace: list[KPBStep] = []
         for task in etc.tasks:
@@ -96,10 +98,21 @@ class KPercentBest(Heuristic):
             pick = tie_breaker.choose(tied_argmin(completion))
             machine_idx = int(subset_idx[pick])
             assignment = mapping.assign(task, etc.machines[machine_idx])
+            subset = tuple(etc.machines[int(j)] for j in subset_idx)
+            if tracer.enabled:
+                tracer.event(
+                    "k-percent-best.decision",
+                    task=task,
+                    subset=subset,
+                    subset_size=size,
+                    machine=assignment.machine,
+                    completion=assignment.completion,
+                )
+                tracer.count("decisions")
             trace.append(
                 KPBStep(
                     task=task,
-                    subset=tuple(etc.machines[int(j)] for j in subset_idx),
+                    subset=subset,
                     machine=assignment.machine,
                     completion=assignment.completion,
                 )

@@ -20,8 +20,9 @@ shows by example that random tie-breaking can increase makespan.
 from __future__ import annotations
 
 from repro.core.schedule import Mapping
-from repro.core.ties import TieBreaker
+from repro.core.ties import TieBreaker, tied_argmin
 from repro.heuristics.base import Heuristic, register_heuristic
+from repro.obs.tracer import get_tracer
 
 __all__ = ["MCT"]
 
@@ -39,7 +40,18 @@ class MCT(Heuristic):
         seed_mapping: dict[str, str] | None,
     ) -> None:
         etc = mapping.etc
+        tracer = get_tracer()
         for task in etc.tasks:
             completion = mapping.completion_times_if(task)
-            machine_idx = tie_breaker.argmin(completion)
-            mapping.assign(task, etc.machines[machine_idx])
+            candidates = tied_argmin(completion)
+            machine_idx = tie_breaker.choose(candidates)
+            assignment = mapping.assign(task, etc.machines[machine_idx])
+            if tracer.enabled:
+                tracer.event(
+                    "mct.decision",
+                    task=task,
+                    machine=assignment.machine,
+                    completion=assignment.completion,
+                    tied=tuple(etc.machines[int(j)] for j in candidates),
+                )
+                tracer.count("decisions")

@@ -19,8 +19,9 @@ increase makespan.
 from __future__ import annotations
 
 from repro.core.schedule import Mapping
-from repro.core.ties import TieBreaker
+from repro.core.ties import TieBreaker, tied_argmin
 from repro.heuristics.base import Heuristic, register_heuristic
+from repro.obs.tracer import get_tracer
 
 __all__ = ["MET"]
 
@@ -38,7 +39,19 @@ class MET(Heuristic):
         seed_mapping: dict[str, str] | None,
     ) -> None:
         etc = mapping.etc
+        tracer = get_tracer()
         for task in etc.tasks:
             row = etc.task_row(task)
-            machine_idx = tie_breaker.argmin(row)
-            mapping.assign(task, etc.machines[machine_idx])
+            candidates = tied_argmin(row)
+            machine_idx = tie_breaker.choose(candidates)
+            assignment = mapping.assign(task, etc.machines[machine_idx])
+            if tracer.enabled:
+                tracer.event(
+                    "met.decision",
+                    task=task,
+                    machine=assignment.machine,
+                    execution=float(row[machine_idx]),
+                    completion=assignment.completion,
+                    tied=tuple(etc.machines[int(j)] for j in candidates),
+                )
+                tracer.count("decisions")

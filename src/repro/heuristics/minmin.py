@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.schedule import Mapping
 from repro.core.ties import TieBreaker, tied_argmin
 from repro.heuristics.base import Heuristic, register_heuristic
+from repro.obs.tracer import get_tracer
 
 __all__ = ["MinMin", "MaxMin", "Duplex"]
 
@@ -54,6 +55,7 @@ class _TwoPhaseGreedy(Heuristic):
         seed_mapping: dict[str, str] | None,
     ) -> None:
         etc = mapping.etc
+        tracer = get_tracer()
         unmapped = list(range(etc.num_tasks))  # row indices, oldest first
         values = etc.values
         while unmapped:
@@ -69,8 +71,18 @@ class _TwoPhaseGreedy(Heuristic):
             # Resolve the machine tie *for the selected task only*, so a
             # random policy consumes draws in the order the paper's
             # examples assume (one machine decision per mapped task).
-            machine_idx = tie_breaker.choose(tied_argmin(completion[task_pos]))
+            candidates = tied_argmin(completion[task_pos])
+            machine_idx = tie_breaker.choose(candidates)
             mapping.assign(etc.tasks[task_idx], etc.machines[machine_idx])
+            if tracer.enabled:
+                tracer.event(
+                    f"{self.name}.decision",
+                    task=etc.tasks[task_idx],
+                    machine=etc.machines[machine_idx],
+                    completion=float(completion[task_pos, machine_idx]),
+                    tied=tuple(etc.machines[int(j)] for j in candidates),
+                )
+                tracer.count("decisions")
             unmapped.pop(task_pos)
 
 

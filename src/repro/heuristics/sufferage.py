@@ -54,6 +54,7 @@ from repro.core.ties import (
     tied_argmin,
 )
 from repro.heuristics.base import Heuristic, register_heuristic
+from repro.obs.tracer import get_tracer
 
 __all__ = ["Sufferage", "SufferageDecision", "SufferagePass"]
 
@@ -100,6 +101,7 @@ class Sufferage(Heuristic):
         seed_mapping: dict[str, str] | None,
     ) -> None:
         etc = mapping.etc
+        tracer = get_tracer()
         order = {t: i for i, t in enumerate(etc.tasks)}
         pending: list[str] = list(etc.tasks)
         passes: list[SufferagePass] = []
@@ -167,6 +169,24 @@ class Sufferage(Heuristic):
             )
             for task, machine in commits:
                 mapping.assign(task, machine)
+            if tracer.enabled:
+                for d in decisions:
+                    tracer.event(
+                        "sufferage.decision",
+                        pass_index=pass_index,
+                        task=d.task,
+                        machine=d.machine,
+                        earliest_ct=d.earliest_ct,
+                        sufferage=d.sufferage,
+                        outcome=d.outcome,
+                        displaced_task=d.displaced_task,
+                    )
+                    tracer.count("decisions")
+                tracer.event(
+                    "sufferage.pass",
+                    index=pass_index,
+                    committed=tuple(commits),
+                )
             passes.append(
                 SufferagePass(pass_index, tuple(decisions), tuple(commits))
             )

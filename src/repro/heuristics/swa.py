@@ -41,6 +41,7 @@ from repro.core.schedule import Mapping
 from repro.core.ties import TieBreaker, tied_argmin
 from repro.exceptions import ConfigurationError
 from repro.heuristics.base import Heuristic, register_heuristic
+from repro.obs.tracer import get_tracer
 
 __all__ = ["SwitchingAlgorithm", "SWAStep", "balance_index"]
 
@@ -97,9 +98,11 @@ class SwitchingAlgorithm(Heuristic):
         seed_mapping: dict[str, str] | None,
     ) -> None:
         etc = mapping.etc
+        tracer = get_tracer()
         current = "mct"  # step 2: the first task is mapped using MCT
         trace: list[SWAStep] = []
         for i, task in enumerate(etc.tasks):
+            previous = current
             if i == 0:
                 bi = math.nan
             else:
@@ -115,6 +118,23 @@ class SwitchingAlgorithm(Heuristic):
                 scores = etc.task_row(task)
             machine_idx = tie_breaker.choose(tied_argmin(scores))
             assignment = mapping.assign(task, etc.machines[machine_idx])
+            if tracer.enabled:
+                if current != previous:
+                    tracer.event(
+                        "switching-algorithm.switch",
+                        task=task,
+                        bi=bi,
+                        selected=current,
+                    )
+                tracer.event(
+                    "switching-algorithm.decision",
+                    task=task,
+                    bi=bi,
+                    heuristic=current,
+                    machine=assignment.machine,
+                    completion=assignment.completion,
+                )
+                tracer.count("decisions")
             trace.append(
                 SWAStep(
                     task=task,

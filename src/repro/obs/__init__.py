@@ -1,0 +1,59 @@
+"""repro.obs — lightweight observability: tracing, counters, timers.
+
+The subsystem turns the paper's prose-level decision narratives (which
+machine wins a Min-Min round, which way a tie breaks, which machine an
+iteration freezes) into first-class, assertable data:
+
+* :class:`Tracer` / :class:`CollectingTracer` / :data:`NULL_TRACER` —
+  structured span/event records with a no-op default, so instrumented
+  hot paths cost one attribute check when tracing is disabled;
+* :class:`Counters` / :class:`Timers` — monotonic, aggregatable;
+* :class:`ObsSnapshot` + JSONL export — picklable state that the
+  parallel experiment runner merges deterministically across workers;
+* ``python -m repro trace`` — replays a witness example and prints its
+  decision trace.
+
+See docs/observability.md for the event catalogue and JSONL schema.
+"""
+
+from repro.obs.export import (
+    event_to_dict,
+    format_event,
+    read_jsonl,
+    render_events,
+    snapshot_to_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import Counters, TimerStat, Timers
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectingTracer,
+    NullTracer,
+    ObsSnapshot,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CollectingTracer",
+    "ObsSnapshot",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counters",
+    "Timers",
+    "TimerStat",
+    "event_to_dict",
+    "snapshot_to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "format_event",
+    "render_events",
+]

@@ -1,0 +1,120 @@
+"""JSONL export/import and human-readable rendering of trace state.
+
+JSONL schema (one JSON object per line, stable key order):
+
+* ``{"type": "event", "seq": int, "kind": str, "fields": {...}}``
+* ``{"type": "counter", "name": str, "value": int}``
+* ``{"type": "timer", "name": str, "count": int, "total": float,
+  "min": float, "max": float}``
+
+Events come first (in sequence order), then counters and timers in
+sorted-name order, so exporting the same snapshot twice yields
+byte-identical files.  Field values must be JSON-encodable; the
+instrumentation emits only strings, numbers, booleans, ``None`` and
+lists/tuples of those (tuples serialise as JSON arrays).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.obs.tracer import CollectingTracer, ObsSnapshot, TraceEvent
+
+__all__ = [
+    "event_to_dict",
+    "snapshot_to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "format_event",
+    "render_events",
+]
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, float) and math.isnan(value):
+        return None  # JSON has no NaN; SWA's undefined BI exports as null
+    return value
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """The JSONL object for one event (see module docstring schema)."""
+    return {
+        "type": "event",
+        "seq": event.seq,
+        "kind": event.kind,
+        "fields": {k: _jsonable(v) for k, v in event.fields.items()},
+    }
+
+
+def snapshot_to_jsonl(snapshot: ObsSnapshot | CollectingTracer) -> str:
+    """Serialise a snapshot (or live tracer) to JSONL text."""
+    if isinstance(snapshot, CollectingTracer):
+        snapshot = snapshot.snapshot()
+    lines = [json.dumps(event_to_dict(e), sort_keys=True) for e in snapshot.events]
+    for name, value in snapshot.counters.items():
+        lines.append(
+            json.dumps(
+                {"type": "counter", "name": name, "value": value}, sort_keys=True
+            )
+        )
+    for name, stat in snapshot.timers.items():
+        lines.append(
+            json.dumps(
+                {
+                    "type": "timer",
+                    "name": name,
+                    "count": stat.count,
+                    "total": stat.total,
+                    "min": stat.min,
+                    "max": stat.max,
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(snapshot: ObsSnapshot | CollectingTracer, path: str | Path) -> int:
+    """Write the snapshot as JSONL; returns the number of lines written."""
+    text = snapshot_to_jsonl(snapshot)
+    Path(path).write_text(text, encoding="utf-8")
+    return text.count("\n")
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL export back into a list of record dicts."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def format_event(event: TraceEvent) -> str:
+    """One-line human rendering: ``[seq] kind  k=v k=v ...``."""
+    parts = []
+    for key, value in event.fields.items():
+        if isinstance(value, float):
+            rendered = "x" if math.isnan(value) else f"{value:g}"
+        elif isinstance(value, (tuple, list)):
+            rendered = ",".join(str(v) for v in value)
+        else:
+            rendered = str(value)
+        parts.append(f"{key}={rendered}")
+    fields = ("  " + " ".join(parts)) if parts else ""
+    return f"[{event.seq:>4}] {event.kind:<28}{fields}"
+
+
+def render_events(events: Iterable[TraceEvent]) -> str:
+    """Multi-line rendering of an event stream (trace CLI output)."""
+    return "\n".join(format_event(e) for e in events)

@@ -1,0 +1,155 @@
+"""Monotonic, aggregatable counters and timers.
+
+Both containers are plain-dict wrappers designed for the observability
+pipeline's two constraints:
+
+* **merge determinism** — worker processes return snapshots that the
+  parent merges; counter merges are commutative sums, so the merged
+  totals are independent of worker scheduling (the event *stream* is
+  kept deterministic separately, by merging in cell order);
+* **zero dependencies** — timing uses :func:`time.perf_counter`, the
+  stdlib's monotonic high-resolution clock, so wall-clock adjustments
+  can never produce negative durations.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Mapping as MappingABC
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["Counters", "TimerStat", "Timers"]
+
+
+class Counters:
+    """Named monotonic integer counters.
+
+    Counters only ever increase (``inc`` rejects negative increments),
+    so any merged total can be trusted as an event count.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: MappingABC[str, int] | None = None) -> None:
+        self._values: dict[str, int] = {}
+        if values is not None:
+            for name, value in values.items():
+                self.inc(name, value)
+
+    def inc(self, name: str, n: int = 1) -> int:
+        """Add ``n >= 0`` to ``name`` (created at 0); returns the new total."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        total = self._values.get(name, 0) + n
+        self._values[name] = total
+        return total
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._values.get(name, 0)
+
+    def total(self, prefix: str = "") -> int:
+        """Sum of every counter whose name starts with ``prefix``."""
+        return sum(v for k, v in self._values.items() if k.startswith(prefix))
+
+    def merge(self, other: "Counters | MappingABC[str, int]") -> None:
+        """Add another counter set (or plain dict) into this one."""
+        items = other._values if isinstance(other, Counters) else other
+        for name, value in items.items():
+            self.inc(name, value)
+
+    def as_dict(self) -> dict[str, int]:
+        """Name -> value, in sorted-name order (deterministic export)."""
+        return {name: self._values[name] for name in sorted(self._values)}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Counters):
+            return self._values == other._values
+        if isinstance(other, MappingABC):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Counters({self.as_dict()!r})"
+
+
+@dataclass(frozen=True)
+class TimerStat:
+    """Aggregate of one named timer: call count and total/min/max seconds."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def observe(self, seconds: float) -> "TimerStat":
+        """Stat with one more observation folded in."""
+        return TimerStat(
+            count=self.count + 1,
+            total=self.total + seconds,
+            min=seconds if seconds < self.min else self.min,
+            max=seconds if seconds > self.max else self.max,
+        )
+
+    def combine(self, other: "TimerStat") -> "TimerStat":
+        return TimerStat(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Timers:
+    """Named duration aggregates fed by a monotonic clock."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self) -> None:
+        self._stats: dict[str, TimerStat] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        """Fold one measured duration (``>= 0``) into ``name``."""
+        if seconds < 0:
+            raise ValueError(f"duration must be >= 0, got {seconds}")
+        self._stats[name] = self._stats.get(name, TimerStat()).observe(seconds)
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager measuring its block with ``perf_counter``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def get(self, name: str) -> TimerStat:
+        return self._stats.get(name, TimerStat())
+
+    def merge(self, other: "Timers | MappingABC[str, TimerStat]") -> None:
+        items = other._stats if isinstance(other, Timers) else other
+        for name, stat in items.items():
+            self._stats[name] = self._stats.get(name, TimerStat()).combine(stat)
+
+    def as_dict(self) -> dict[str, TimerStat]:
+        return {name: self._stats[name] for name in sorted(self._stats)}
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._stats))
+
+    def __repr__(self) -> str:
+        return f"Timers({self.as_dict()!r})"

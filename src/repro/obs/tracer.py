@@ -1,0 +1,242 @@
+"""Structured decision tracing with a zero-cost disabled default.
+
+The paper's argument is carried by *decisions* — which pair wins a
+Min-Min round, which way a tie breaks, which machine an iteration
+freezes — so the instrumented hot paths emit one structured
+:class:`TraceEvent` per decision.  Instrumentation follows one idiom::
+
+    tracer = get_tracer()
+    ...
+    if tracer.enabled:              # single attribute test when disabled
+        tracer.event("min-min.decision", task=task, machine=machine, ...)
+
+The module-level current tracer defaults to the :data:`NULL_TRACER`
+singleton (``enabled`` is ``False``), so uninstrumented callers pay one
+truthiness check per decision and *nothing else* — no event objects, no
+string formatting, no field dictionaries.  Enable collection with::
+
+    with use_tracer(CollectingTracer()) as tracer:
+        IterativeScheduler(MinMin()).run(etc)
+    print(tracer.counters.get("decisions"))
+
+Every :meth:`CollectingTracer.event` call also increments the counter
+``events.<kind>``, so counter totals and event counts cannot drift
+apart (asserted by the property suite).  Decision-level instrumentation
+additionally increments the shared ``decisions`` counter.
+
+Snapshots (:class:`ObsSnapshot`) are plain picklable dataclasses; the
+parallel experiment runner ships one per worker process back to the
+parent and merges them **in cell order**, which makes the merged stream
+bit-identical to a serial run (see :mod:`repro.analysis.parallel`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Counters, TimerStat, Timers
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CollectingTracer",
+    "ObsSnapshot",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured record: a monotonic sequence number, a dotted
+    ``kind`` (e.g. ``"min-min.decision"``) and free-form ``fields``."""
+
+    seq: int
+    kind: str
+    fields: dict[str, object] = field(default_factory=dict)
+
+    def get(self, name: str, default=None):
+        return self.fields.get(name, default)
+
+
+class Tracer:
+    """Interface shared by the no-op and collecting tracers.
+
+    ``enabled`` is the hot-path gate: emitters must check it before
+    building event fields so a disabled tracer costs one attribute
+    lookup per decision.
+    """
+
+    enabled: bool = False
+
+    def event(self, kind: str, **fields) -> None:
+        """Record one structured event (no-op when disabled)."""
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a named counter (no-op when disabled)."""
+
+    def span(self, kind: str, **fields):
+        """Context manager timing its block under ``kind``; on exit the
+        duration lands in the timers and one ``kind`` event is emitted
+        (without the duration, keeping event streams deterministic)."""
+        return _NULL_SPAN
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager (allocation-free)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled default: every operation is a no-op."""
+
+    enabled = False
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: Shared disabled tracer (stateless, safe to reuse everywhere).
+NULL_TRACER = NullTracer()
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """Picklable, immutable view of a tracer's state.
+
+    This is the unit the parallel runner ships across process
+    boundaries; ``events`` keep their origin-local sequence numbers and
+    are re-sequenced on merge.
+    """
+
+    events: tuple[TraceEvent, ...]
+    counters: dict[str, int]
+    timers: dict[str, TimerStat]
+
+
+class _Span:
+    __slots__ = ("_tracer", "_kind", "_fields", "_start")
+
+    def __init__(self, tracer: "CollectingTracer", kind: str, fields: dict) -> None:
+        self._tracer = tracer
+        self._kind = kind
+        self._fields = fields
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._tracer.timers.record(
+            self._kind, time.perf_counter() - self._start
+        )
+        self._tracer.event(self._kind, **self._fields)
+        return False
+
+
+class CollectingTracer(Tracer):
+    """In-memory tracer: ordered events plus counters and timers."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self.counters = Counters()
+        self.timers = Timers()
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def events_of(self, kind: str) -> tuple[TraceEvent, ...]:
+        """All collected events of one ``kind``, in emission order."""
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def event(self, kind: str, **fields) -> None:
+        self._events.append(TraceEvent(len(self._events), kind, fields))
+        self.counters.inc(f"events.{kind}")
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters.inc(name, n)
+
+    def span(self, kind: str, **fields):
+        return _Span(self, kind, fields)
+
+    def snapshot(self) -> ObsSnapshot:
+        return ObsSnapshot(
+            events=tuple(self._events),
+            counters=self.counters.as_dict(),
+            timers=self.timers.as_dict(),
+        )
+
+    def merge_snapshot(self, snapshot: ObsSnapshot) -> None:
+        """Fold a worker snapshot in, re-sequencing its events after the
+        ones already collected (call in a deterministic order)."""
+        for event in snapshot.events:
+            self._events.append(
+                TraceEvent(len(self._events), event.kind, dict(event.fields))
+            )
+        self.counters.merge(snapshot.counters)
+        self.timers.merge(snapshot.timers)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.counters = Counters()
+        self.timers = Timers()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectingTracer(events={len(self._events)}, "
+            f"counters={len(self.counters)}, timers={len(self.timers)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Current-tracer plumbing
+# ----------------------------------------------------------------------
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide current tracer (default: :data:`NULL_TRACER`)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as current; returns the previous one."""
+    global _current
+    previous = _current
+    _current = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` for the duration of the block, then restore."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.exceptions import SimulationError
+from repro.obs.tracer import get_tracer
 from repro.sim.events import Event, EventQueue
 
 __all__ = ["Simulator"]
@@ -74,6 +75,7 @@ class Simulator:
         ``until`` (clock advances to ``until``), or after ``max_events``
         dispatches (a runaway-model guard).
         """
+        tracer = get_tracer()
         while self._queue:
             next_time = self._queue.peek_time()
             assert next_time is not None
@@ -90,6 +92,15 @@ class Simulator:
             handlers = self._handlers.get(event.kind)
             if not handlers:
                 raise SimulationError(f"no handler registered for event {event.kind!r}")
+            if tracer.enabled:
+                tracer.event(
+                    "sim.dispatch",
+                    kind=event.kind,
+                    time=event.time,
+                    handlers=len(handlers),
+                )
+                tracer.count("sim.events")
+                tracer.count(f"sim.events.{event.kind}")
             for handler in handlers:
                 handler(event)
         if until is not None and until > self._now:

@@ -11,13 +11,31 @@ __all__ = ["TaskExecution", "ExecutionTrace"]
 
 @dataclass(frozen=True)
 class TaskExecution:
-    """One task's measured execution interval on a machine."""
+    """One task's measured execution interval on a machine.
+
+    The interval is validated on construction: a task cannot finish
+    before it starts, nor start before it arrives (the latter would
+    silently yield a *negative* :attr:`queue_wait` and corrupt every
+    wait-time statistic downstream).
+    """
 
     task: str
     machine: str
     start: float
     finish: float
     arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.finish < self.start:
+            raise SimulationError(
+                f"task {self.task!r} finishes before it starts "
+                f"({self.finish} < {self.start})"
+            )
+        if self.start < self.arrival:
+            raise SimulationError(
+                f"task {self.task!r} starts before it arrives "
+                f"({self.start} < {self.arrival})"
+            )
 
     @property
     def duration(self) -> float:

@@ -1,0 +1,296 @@
+"""Trace-replay regressions for the paper's worked examples.
+
+Each test runs a witness ETC matrix through the iterative technique
+under a :class:`CollectingTracer` and asserts that the *emitted event
+stream* — not just the final numbers — reproduces the divergence the
+paper documents for that example: the tie that flips (Min-Min, MCT,
+MET), the heuristic switches that move (SWA), the subset collapse
+(KPB), and the sufferage-value re-shuffle (Sufferage).
+"""
+
+import math
+
+import pytest
+
+from repro.core.iterative import IterativeScheduler
+from repro.core.ties import ScriptedTieBreaker
+from repro.etc.witness import (
+    KPB_EXAMPLE_PERCENT,
+    SWA_EXAMPLE_HIGH_THRESHOLD,
+    SWA_EXAMPLE_LOW_THRESHOLD,
+    kpb_example_etc,
+    mct_met_example_etc,
+    minmin_example_etc,
+    sufferage_example_etc,
+    swa_example_etc,
+)
+from repro.heuristics.kpb import KPercentBest
+from repro.heuristics.mct import MCT
+from repro.heuristics.met import MET
+from repro.heuristics.minmin import MinMin
+from repro.heuristics.sufferage import Sufferage
+from repro.heuristics.swa import SwitchingAlgorithm
+from repro.obs import CollectingTracer, use_tracer
+
+pytestmark = pytest.mark.obs
+
+
+def traced_run(heuristic, etc, tie_breaker=None):
+    """Run the iterative technique and return (result, tracer)."""
+    tracer = CollectingTracer()
+    scheduler = IterativeScheduler(heuristic, tie_breaker=tie_breaker)
+    with use_tracer(tracer):
+        result = scheduler.run(etc)
+    return result, tracer
+
+
+def decisions_by_iteration(tracer, kind):
+    """Partition ``kind`` events by iteration using freeze markers.
+
+    The event stream interleaves decision events with one
+    ``iterative.freeze`` per iteration, in order — so the freeze events
+    delimit the iterations.
+    """
+    iterations = [[]]
+    for event in tracer.events:
+        if event.kind == "iterative.freeze":
+            iterations.append([])
+        elif event.kind == kind:
+            iterations[-1].append(event)
+    while iterations and not iterations[-1]:
+        iterations.pop()
+    return iterations
+
+
+class TestMinMinExample:
+    """Section 3.2: the t2 tie flips from m2 to m3 and the makespan grows."""
+
+    def test_divergent_tie_is_visible_in_trace(self):
+        result, tracer = traced_run(
+            MinMin(), minmin_example_etc(), ScriptedTieBreaker([1, 1])
+        )
+        rounds = decisions_by_iteration(tracer, "min-min.decision")
+        original_t2 = next(e for e in rounds[0] if e.get("task") == "t2")
+        iterative_t2 = next(e for e in rounds[1] if e.get("task") == "t2")
+        # Both mappings see the same genuine tie at completion time 2...
+        assert original_t2.get("tied") == ("m2", "m3")
+        assert iterative_t2.get("tied") == ("m2", "m3")
+        assert original_t2.get("completion") == 2.0
+        assert iterative_t2.get("completion") == 2.0
+        # ...but break it differently — the documented divergence point.
+        assert original_t2.get("machine") == "m2"
+        assert iterative_t2.get("machine") == "m3"
+        assert result.makespans()[:2] == (5.0, 6.0)
+        assert result.makespan_increased()
+
+    def test_freeze_events_follow_removal_order(self):
+        result, tracer = traced_run(
+            MinMin(), minmin_example_etc(), ScriptedTieBreaker([1, 1])
+        )
+        freezes = tracer.events_of("iterative.freeze")
+        assert [e.get("frozen_machine") for e in freezes] == list(
+            result.removal_order
+        )
+        assert freezes[0].get("frozen_machine") == "m1"
+        assert freezes[0].get("makespan") == 5.0
+        assert freezes[1].get("makespan") == 6.0
+        assert tracer.counters.get("iterations") == len(freezes)
+
+
+@pytest.mark.parametrize(
+    ("heuristic_cls", "kind", "makespans"),
+    [(MCT, "mct.decision", (4.0, 5.0)), (MET, "met.decision", (4.0, 5.0))],
+    ids=["mct", "met"],
+)
+class TestMCTMETExamples:
+    """Sections 3.3–3.4: both heuristics share the t2 tie between m2/m3."""
+
+    def test_t2_tie_flips(self, heuristic_cls, kind, makespans):
+        result, tracer = traced_run(
+            heuristic_cls(), mct_met_example_etc(), ScriptedTieBreaker([1, 1])
+        )
+        rounds = decisions_by_iteration(tracer, kind)
+        original_t2 = next(e for e in rounds[0] if e.get("task") == "t2")
+        iterative_t2 = next(e for e in rounds[1] if e.get("task") == "t2")
+        assert original_t2.get("tied") == ("m2", "m3")
+        assert original_t2.get("machine") == "m2"
+        assert iterative_t2.get("tied") == ("m2", "m3")
+        assert iterative_t2.get("machine") == "m3"
+        assert result.makespans()[:2] == makespans
+        assert result.makespan_increased()
+
+    def test_non_tied_decisions_consume_no_script(self, heuristic_cls, kind, makespans):
+        script = ScriptedTieBreaker([1, 1])
+        traced_run(heuristic_cls(), mct_met_example_etc(), script)
+        # Only the two genuine t2 ties draw from the script.
+        assert script.consumed == 2
+
+
+class TestSWAExample:
+    """Section 3.5: the t4 decision moves because t3 leaves a different BI."""
+
+    def _run(self):
+        heuristic = SwitchingAlgorithm(
+            low=SWA_EXAMPLE_LOW_THRESHOLD, high=SWA_EXAMPLE_HIGH_THRESHOLD
+        )
+        return traced_run(heuristic, swa_example_etc())
+
+    def test_heuristic_sequences(self):
+        _, tracer = self._run()
+        rounds = decisions_by_iteration(tracer, "switching-algorithm.decision")
+        assert [e.get("heuristic") for e in rounds[0]] == [
+            "mct", "mct", "mct", "mct", "met",
+        ]
+        assert [e.get("heuristic") for e in rounds[1]] == [
+            "mct", "mct", "met", "mct",
+        ]
+
+    def test_divergent_balance_indices(self):
+        _, tracer = self._run()
+        rounds = decisions_by_iteration(tracer, "switching-algorithm.decision")
+        # Original: t4 still maps by MCT (BI 1/3), t5 sees BI 2/3 -> MET.
+        original_bis = [e.get("bi") for e in rounds[0]]
+        assert math.isnan(original_bis[0])
+        assert original_bis[3] == pytest.approx(1 / 3)
+        assert original_bis[4] == pytest.approx(2 / 3)
+        # Iterative: t3's allocation leaves BI 1/2 > high at t4's turn,
+        # so t4 maps by MET instead — the documented divergence.
+        iterative_bis = [e.get("bi") for e in rounds[1]]
+        assert iterative_bis[2] == pytest.approx(1 / 2)
+        assert iterative_bis[3] == pytest.approx(4 / 13)
+
+    def test_switch_events(self):
+        _, tracer = self._run()
+        rounds = decisions_by_iteration(tracer, "switching-algorithm.switch")
+        assert [(e.get("task"), e.get("selected")) for e in rounds[0]] == [
+            ("t5", "met"),  # original mapping: BI 2/3 > 0.49
+        ]
+        assert [(e.get("task"), e.get("selected")) for e in rounds[1]] == [
+            ("t4", "met"),  # iterative mapping: BI 1/2 > 0.49
+            ("t5", "mct"),  # iterative mapping: BI 4/13 < low
+        ]
+
+    def test_makespan_increase(self):
+        result, _ = self._run()
+        assert result.makespans()[:2] == (6.0, 6.5)
+        assert result.makespan_increased()
+
+
+class TestKPBExample:
+    """Section 3.6: the subset collapses to 1 machine — KPB becomes MET."""
+
+    def _run(self):
+        return traced_run(
+            KPercentBest(percent=KPB_EXAMPLE_PERCENT), kpb_example_etc()
+        )
+
+    def test_subset_shrinks_from_two_to_one(self):
+        _, tracer = self._run()
+        rounds = decisions_by_iteration(tracer, "k-percent-best.decision")
+        assert {e.get("subset_size") for e in rounds[0]} == {2}
+        assert {e.get("subset_size") for e in rounds[1]} == {1}
+        # With a singleton subset every choice is forced to the task's
+        # fastest machine ("forces KPB to perform like MET").
+        for event in rounds[1]:
+            assert event.get("subset") == (event.get("machine"),)
+
+    def test_t5_diverges(self):
+        _, tracer = self._run()
+        rounds = decisions_by_iteration(tracer, "k-percent-best.decision")
+        original_t5 = next(e for e in rounds[0] if e.get("task") == "t5")
+        iterative_t5 = next(e for e in rounds[1] if e.get("task") == "t5")
+        assert original_t5.get("machine") == "m3"
+        assert iterative_t5.get("machine") == "m2"
+        assert iterative_t5.get("completion") == 7.0
+
+    def test_makespan_increase(self):
+        result, _ = self._run()
+        assert result.makespans()[:2] == (6.0, 7.0)
+        assert result.makespan_increased()
+
+
+class TestSufferageExample:
+    """Section 3.7: removing m1 changes sufferage values and re-shuffles."""
+
+    def _run(self):
+        return traced_run(Sufferage(), sufferage_example_etc())
+
+    @staticmethod
+    def _first_examinations(round_events):
+        """Each task's first sufferage examination within one mapping."""
+        first = {}
+        for event in round_events:
+            first.setdefault(event.get("task"), event)
+        return first
+
+    def test_sufferage_values_change_for_t0_and_t6(self):
+        _, tracer = self._run()
+        rounds = decisions_by_iteration(tracer, "sufferage.decision")
+        original = self._first_examinations(rounds[0])
+        iterative = self._first_examinations(rounds[1])
+        surviving = set(iterative)
+        changed = {
+            t
+            for t in surviving
+            if original[t].get("sufferage") != iterative[t].get("sufferage")
+        }
+        assert changed == {"t0", "t6"}
+
+    def test_two_tasks_remap(self):
+        result, tracer = self._run()
+        original = result.original.mapping.to_dict()
+        iterative = result.iterations[1].mapping.to_dict()
+        remapped = {t for t, m in iterative.items() if original[t] != m}
+        assert remapped == {"t5", "t6"}
+        assert iterative["t5"] == "m3" and original["t5"] == "m2"
+        assert iterative["t6"] == "m2" and original["t6"] == "m3"
+        # The re-mapping is visible in the trace as machine contests:
+        # some first-pass decision of iteration 1 displaced or rejected
+        # an incumbent (the mechanism of the example).
+        rounds = decisions_by_iteration(tracer, "sufferage.decision")
+        outcomes = {e.get("outcome") for e in rounds[1]}
+        assert "displaced" in outcomes or "rejected" in outcomes
+
+    def test_pass_events_mirror_last_trace(self):
+        result, tracer = self._run()
+        rounds = decisions_by_iteration(tracer, "sufferage.pass")
+        original_passes = result.original.trace
+        assert [e.get("index") for e in rounds[0]] == [
+            p.index for p in original_passes
+        ]
+        assert [e.get("committed") for e in rounds[0]] == [
+            p.committed for p in original_passes
+        ]
+
+    def test_makespan_increase(self):
+        result, _ = self._run()
+        assert result.makespans()[:2] == (10.0, 10.5)
+        assert result.original.finish_times() == {
+            "m1": 10.0, "m2": 9.5, "m3": 9.5,
+        }
+        assert result.iterations[1].finish_times() == {"m2": 10.5, "m3": 8.5}
+        assert result.makespan_increased()
+
+
+class TestDecisionCounters:
+    """The auto-counters stay consistent with the event stream."""
+
+    @pytest.mark.parametrize(
+        ("heuristic", "etc"),
+        [
+            (MinMin(), minmin_example_etc()),
+            (MCT(), mct_met_example_etc()),
+            (MET(), mct_met_example_etc()),
+            (SwitchingAlgorithm(), swa_example_etc()),
+            (KPercentBest(), kpb_example_etc()),
+            (Sufferage(), sufferage_example_etc()),
+        ],
+        ids=["min-min", "mct", "met", "swa", "kpb", "sufferage"],
+    )
+    def test_decision_counter_matches_events(self, heuristic, etc):
+        _, tracer = traced_run(heuristic, etc)
+        decision_events = [
+            e for e in tracer.events if e.kind.endswith(".decision")
+        ]
+        assert tracer.counters.get("decisions") == len(decision_events)
+        assert tracer.counters.get("events.iterative.run") == 1

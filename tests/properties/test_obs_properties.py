@@ -1,0 +1,173 @@
+"""Property tests for the observability subsystem (hypothesis).
+
+The contract under test is the ISSUE's headline guarantee: tracing is
+*pure observation*.  Enabling a collector must not change a single
+mapping decision, and the counters a run produces must be derivable
+from (and therefore consistent with) its event stream — whether the run
+was serial or merged across worker processes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import ExperimentConfig, run_experiment
+from repro.analysis.parallel import run_experiment_parallel
+from repro.core.iterative import IterativeScheduler
+from repro.core.ties import DeterministicTieBreaker, RandomTieBreaker
+from repro.etc.generation import Consistency, Heterogeneity
+from repro.etc.matrix import ETCMatrix
+from repro.heuristics import get_heuristic
+from repro.obs import CollectingTracer, event_to_dict, use_tracer
+
+pytestmark = pytest.mark.obs
+
+TRACED_NAMES = [
+    "min-min",
+    "max-min",
+    "mct",
+    "met",
+    "sufferage",
+    "k-percent-best",
+    "switching-algorithm",
+]
+
+
+@st.composite
+def etc_matrices(draw, min_tasks=1, max_tasks=8, min_machines=2, max_machines=4):
+    num_tasks = draw(st.integers(min_tasks, max_tasks))
+    num_machines = draw(st.integers(min_machines, max_machines))
+    values = draw(
+        st.lists(
+            st.lists(
+                st.floats(0.5, 50.0, allow_nan=False, allow_infinity=False),
+                min_size=num_machines,
+                max_size=num_machines,
+            ),
+            min_size=num_tasks,
+            max_size=num_tasks,
+        )
+    )
+    return ETCMatrix(values)
+
+
+def _iterative_result(etc, name, tie_breaker):
+    return IterativeScheduler(
+        get_heuristic(name), tie_breaker=tie_breaker
+    ).run(etc)
+
+
+def _result_fingerprint(result):
+    return (
+        tuple(rec.mapping.to_dict().items() for rec in result.iterations),
+        result.makespans(),
+        result.removal_order,
+        tuple(sorted(result.final_finish_times.items())),
+    )
+
+
+@pytest.mark.parametrize("name", TRACED_NAMES)
+@given(etc=etc_matrices())
+@settings(max_examples=15, deadline=None)
+def test_tracing_does_not_change_decisions(name, etc):
+    """Enabled vs disabled tracing: bit-identical iterative runs."""
+    untraced = _iterative_result(etc, name, DeterministicTieBreaker())
+    with use_tracer(CollectingTracer()):
+        traced = _iterative_result(etc, name, DeterministicTieBreaker())
+    assert _result_fingerprint(traced) == _result_fingerprint(untraced)
+
+
+@given(etc=etc_matrices(), seed=st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_tracing_does_not_consume_randomness(etc, seed):
+    """Same-seed random tie-breaking is unaffected by the collector —
+    the instrumentation never draws from (or reorders draws of) the
+    tie-breaker's RNG stream."""
+    untraced = _iterative_result(etc, "min-min", RandomTieBreaker(seed))
+    with use_tracer(CollectingTracer()):
+        traced = _iterative_result(etc, "min-min", RandomTieBreaker(seed))
+    assert _result_fingerprint(traced) == _result_fingerprint(untraced)
+
+
+@pytest.mark.parametrize("name", TRACED_NAMES)
+@given(etc=etc_matrices())
+@settings(max_examples=15, deadline=None)
+def test_counters_consistent_with_events(name, etc):
+    """`decisions` equals the `.decision` event count; every
+    `events.<kind>` counter equals the number of events of that kind."""
+    with use_tracer(CollectingTracer()) as tracer:
+        _iterative_result(etc, name, DeterministicTieBreaker())
+    decision_events = [e for e in tracer.events if e.kind.endswith(".decision")]
+    assert tracer.counters.get("decisions") == len(decision_events)
+    assert len(decision_events) > 0
+    kinds = {e.kind for e in tracer.events}
+    for kind in kinds:
+        assert tracer.counters.get(f"events.{kind}") == len(tracer.events_of(kind))
+    assert tracer.counters.total("events.") == len(tracer.events)
+    # every decision also landed in its per-kind event counter
+    assert tracer.counters.get("iterations") == len(
+        tracer.events_of("iterative.freeze")
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_config():
+    return ExperimentConfig(
+        heuristics=("mct", "switching-algorithm"),
+        num_tasks=8,
+        num_machines=3,
+        heterogeneities=(Heterogeneity.HIHI, Heterogeneity.LOLO),
+        consistencies=(Consistency.INCONSISTENT,),
+        instances_per_cell=2,
+        seed=7,
+    )
+
+
+class TestParallelMerge:
+    """Worker-collected snapshots merge to the serial aggregates."""
+
+    def _serial(self, config):
+        with use_tracer(CollectingTracer()) as tracer:
+            records = run_experiment(config)
+        return records, tracer
+
+    def _parallel(self, config, max_workers=2):
+        with use_tracer(CollectingTracer()) as tracer:
+            records = run_experiment_parallel(config, max_workers=max_workers)
+        return records, tracer
+
+    def test_merged_counters_equal_serial(self, grid_config):
+        _, serial = self._serial(grid_config)
+        _, parallel = self._parallel(grid_config)
+        assert parallel.counters == serial.counters
+        assert parallel.counters.get("experiment.runs") == 2 * 2 * 2
+
+    def test_merged_event_stream_equals_serial(self, grid_config):
+        serial_records, serial = self._serial(grid_config)
+        parallel_records, parallel = self._parallel(grid_config)
+        assert [r.comparison for r in parallel_records] == [
+            r.comparison for r in serial_records
+        ]
+        # compare via the export form: NaN fields (e.g. undefined BI)
+        # are identical-but-not-equal across the pickle boundary
+        assert [event_to_dict(e) for e in parallel.events] == [
+            event_to_dict(e) for e in serial.events
+        ]
+
+    def test_merged_timers_cover_serial_names(self, grid_config):
+        _, serial = self._serial(grid_config)
+        _, parallel = self._parallel(grid_config)
+        # Durations are wall-clock and differ; the aggregation structure
+        # (which timers exist, how many observations each has) must not.
+        serial_timers = serial.timers.as_dict()
+        parallel_timers = parallel.timers.as_dict()
+        assert set(parallel_timers) == set(serial_timers)
+        for name, stat in serial_timers.items():
+            assert parallel_timers[name].count == stat.count
+
+    def test_disabled_tracer_takes_untraced_path(self, grid_config):
+        records = run_experiment_parallel(grid_config, max_workers=2)
+        serial_records, _ = self._serial(grid_config)
+        assert [r.comparison for r in records] == [
+            r.comparison for r in serial_records
+        ]

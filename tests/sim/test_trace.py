@@ -28,6 +28,20 @@ class TestRecording:
         with pytest.raises(SimulationError):
             trace.add(TaskExecution("z", "m1", 5.0, 4.0))
 
+    def test_start_before_arrival_rejected(self):
+        """arrival > start would make queue_wait negative — the record
+        must be rejected at construction, not fed into statistics."""
+        with pytest.raises(SimulationError, match="starts before it arrives"):
+            TaskExecution("z", "m1", start=1.0, finish=2.0, arrival=3.0)
+
+    def test_start_at_arrival_allowed(self):
+        record = TaskExecution("z", "m1", start=1.0, finish=2.0, arrival=1.0)
+        assert record.queue_wait == 0.0
+
+    def test_zero_duration_allowed(self):
+        record = TaskExecution("z", "m1", start=1.0, finish=1.0)
+        assert record.duration == 0.0
+
     def test_execution_lookup(self, trace):
         assert trace.execution_of("b").finish == 5.0
         with pytest.raises(SimulationError):

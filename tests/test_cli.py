@@ -199,6 +199,55 @@ class TestExport:
         assert len(rows) == 4
 
 
+class TestTrace:
+    def test_paper_example_trace(self, capsys):
+        assert main(["trace", "--example", "min-min"]) == 0
+        out = capsys.readouterr().out
+        assert "decision trace" in out
+        assert "min-min.decision" in out
+        assert "iterative.freeze" in out
+        # deterministic ties: no divergence for Min-Min (paper theorem)
+        assert "makespans per iteration : 5 -> 4 -> 2" in out
+        assert "removal order           : m1 -> m3 -> m2" in out
+        assert "decisions" in out  # counters block
+
+    def test_kpb_example_shows_increase(self, capsys):
+        assert main(["trace", "--example", "kpb"]) == 0
+        out = capsys.readouterr().out
+        assert "k-percent-best.decision" in out
+        assert "makespan increased      : yes" in out
+
+    def test_etc_file_trace(self, etc_file, capsys):
+        assert main(["trace", "--etc", etc_file,
+                     "--heuristic", "sufferage"]) == 0
+        out = capsys.readouterr().out
+        assert "sufferage.decision" in out
+        assert "sufferage.pass" in out
+
+    def test_jsonl_export(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--example", "kpb",
+                     "--jsonl", str(out)]) == 0
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(out)
+        kinds = [r["kind"] for r in records if r["type"] == "event"]
+        assert "k-percent-best.decision" in kinds
+        assert any(r["type"] == "counter" for r in records)
+
+    def test_needs_exactly_one_source(self, etc_file, capsys):
+        assert main(["trace"]) == 2
+        assert main(["trace", "--example", "mct", "--etc", etc_file]) == 2
+
+    def test_all_examples_run(self, capsys):
+        from repro.cli import TRACE_EXAMPLES
+
+        for example in TRACE_EXAMPLES:
+            assert main(["trace", "--example", example]) == 0
+        out = capsys.readouterr().out
+        assert out.count("decision trace") == len(TRACE_EXAMPLES)
+
+
 class TestIterateChart:
     def test_chart_flag_renders_trajectory(self, tmp_path, capsys):
         from repro.etc.generation import generate_range_based
