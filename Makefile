@@ -1,10 +1,11 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test smoke-obs bench
+.PHONY: test smoke-obs bench bench-smoke bench-baseline bench-pytest
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+	$(MAKE) bench-smoke
 
 # Observability smoke: the obs-marked battery (trace replays, tracer /
 # metrics / export units, tracing-purity properties) plus one CLI
@@ -13,5 +14,22 @@ smoke-obs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m obs
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace --example min-min
 
+# Full benchmark harness: times the tracked 512x32 workloads (optimised
+# and retained reference kernels), writes BENCH_current.json, and fails
+# if any tracked workload regressed beyond tolerance vs the checked-in
+# baseline.  Regenerate the baseline with `make bench-baseline`.
 bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench \
+		-o BENCH_current.json --baseline BENCH_baseline.json
+
+bench-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench -o BENCH_baseline.json
+
+# Shrunken (64x8) one-repeat pass: proves the harness end to end in a
+# couple of seconds; wired into the default `make test` flow.
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --smoke --repeats 2
+
+# The original pytest-benchmark suite (micro-benchmarks).
+bench-pytest:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,372 @@
+"""Benchmark-regression harness for the scheduling hot paths.
+
+The kernels in :mod:`repro.heuristics` keep *reference* implementations
+alongside the optimised defaults (``incremental=False``), so every
+tracked workload can time both variants in the same process and report
+the speedup directly — the checked-in ``BENCH_baseline.json`` therefore
+records pre- **and** post-optimisation numbers for the paper-scale
+workloads.
+
+Three entry points:
+
+* :func:`run_bench` executes the workload registry and returns a
+  machine-readable report (see ``SCHEMA``);
+* :func:`compare_reports` checks a fresh report against a baseline and
+  lists every tracked workload that regressed beyond the tolerance;
+* the ``repro bench`` CLI subcommand (and ``make bench`` /
+  ``make bench-smoke``) wraps both, exiting non-zero on regression.
+
+Workloads use ``time.perf_counter`` around whole mapper runs; ``best_s``
+(minimum over repeats) is the comparison statistic because it is the
+least noise-sensitive on shared machines, with ``median_s`` recorded
+alongside for context.  Smoke mode shrinks every workload (64×8 instead
+of 512×32) so the harness itself can run inside the test suite; smoke
+and full reports are never comparable (`compare_reports` refuses).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "Workload",
+    "WORKLOADS",
+    "workload_names",
+    "run_bench",
+    "compare_reports",
+    "load_report",
+    "write_report",
+    "format_report",
+]
+
+#: Report format identifier; bump when the JSON layout changes.
+SCHEMA = "repro-bench/1"
+
+#: Default allowed slowdown before ``compare_reports`` flags a workload
+#: (0.5 = 50%, generous because wall-clock timing on shared hardware is
+#: noisy; the optimisations being guarded are 2–10x, not 1.1x).
+DEFAULT_TOLERANCE = 0.5
+
+DEFAULT_REPEATS = 5
+
+_FULL_SHAPE = (512, 32)
+_SMOKE_SHAPE = (64, 8)
+_ETC_SEED = 20070612  # fixed: every run times the same instance
+
+
+def _bench_etc(smoke: bool):
+    from repro.etc.generation import (
+        Consistency,
+        Heterogeneity,
+        generate_range_based,
+    )
+
+    tasks, machines = _SMOKE_SHAPE if smoke else _FULL_SHAPE
+    return generate_range_based(
+        tasks,
+        machines,
+        Heterogeneity.HIHI,
+        Consistency.INCONSISTENT,
+        rng=_ETC_SEED,
+    )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One tracked timing target.
+
+    ``build(smoke)`` returns ``(run, run_reference)`` thunks — the
+    optimised path and the retained pre-optimisation path (``None``
+    when the workload has no reference variant).
+    """
+
+    name: str
+    description: str
+    build: Callable[[bool], tuple[Callable[[], object], Callable[[], object] | None]]
+
+
+def _mapper_workload(heuristic_factory) -> Callable:
+    def build(smoke: bool):
+        from repro.core.ties import DeterministicTieBreaker
+
+        etc = _bench_etc(smoke)
+
+        def run():
+            return heuristic_factory(incremental=True).map_tasks(
+                etc, tie_breaker=DeterministicTieBreaker()
+            )
+
+        def run_reference():
+            return heuristic_factory(incremental=False).map_tasks(
+                etc, tie_breaker=DeterministicTieBreaker()
+            )
+
+        return run, run_reference
+
+    return build
+
+
+def _iterative_workload(smoke: bool):
+    from repro.core.iterative import IterativeScheduler
+    from repro.heuristics.minmin import MinMin
+
+    etc = _bench_etc(smoke)
+
+    def run():
+        return IterativeScheduler(MinMin(incremental=True)).run(etc)
+
+    def run_reference():
+        return IterativeScheduler(MinMin(incremental=False)).run(etc)
+
+    return run, run_reference
+
+
+def _experiment_workload(smoke: bool):
+    from repro.analysis.experiments import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(
+        heuristics=("min-min", "mct", "sufferage"),
+        num_tasks=16 if smoke else 48,
+        num_machines=4 if smoke else 8,
+        instances_per_cell=1 if smoke else 3,
+        seed=_ETC_SEED,
+    )
+
+    def run():
+        return run_experiment(config)
+
+    return run, None
+
+
+def _make_minmin(**kwargs):
+    from repro.heuristics.minmin import MinMin
+
+    return MinMin(**kwargs)
+
+
+def _make_mct(**kwargs):
+    from repro.heuristics.mct import MCT
+
+    return MCT(**kwargs)
+
+
+def _make_sufferage(**kwargs):
+    from repro.heuristics.sufferage import Sufferage
+
+    return Sufferage(**kwargs)
+
+
+def _make_kpb(**kwargs):
+    from repro.heuristics.kpb import KPercentBest
+
+    return KPercentBest(70.0, **kwargs)
+
+
+WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        "minmin-512x32",
+        "Min-Min mapper, 512 tasks x 32 machines (64x8 in smoke mode)",
+        _mapper_workload(_make_minmin),
+    ),
+    Workload(
+        "mct-512x32",
+        "MCT mapper, 512 tasks x 32 machines",
+        _mapper_workload(_make_mct),
+    ),
+    Workload(
+        "sufferage-512x32",
+        "Sufferage mapper, 512 tasks x 32 machines",
+        _mapper_workload(_make_sufferage),
+    ),
+    Workload(
+        "kpb-512x32",
+        "K-Percent Best (70%) mapper, 512 tasks x 32 machines",
+        _mapper_workload(_make_kpb),
+    ),
+    Workload(
+        "iterative-minmin-512x32",
+        "Full iterative technique with Min-Min, 512 tasks x 32 machines",
+        _iterative_workload,
+    ),
+    Workload(
+        "experiment-grid-small",
+        "Serial experiment grid (3 heuristics, no reference variant)",
+        _experiment_workload,
+    ),
+)
+
+
+def workload_names() -> tuple[str, ...]:
+    return tuple(w.name for w in WORKLOADS)
+
+
+def _time_thunk(thunk: Callable[[], object], repeats: int) -> dict:
+    samples: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        thunk()
+        samples.append(time.perf_counter() - start)
+    return {
+        "best_s": min(samples),
+        "median_s": statistics.median(samples),
+        "samples": [round(s, 6) for s in samples],
+    }
+
+
+def run_bench(
+    *,
+    smoke: bool = False,
+    repeats: int = DEFAULT_REPEATS,
+    with_reference: bool = True,
+    only: Sequence[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Time every registered workload and return the report dict.
+
+    ``only`` restricts the run to a subset of workload names;
+    ``with_reference=False`` skips the pre-optimisation variants (halves
+    runtime, but the report then carries no speedup figures);
+    ``progress`` receives one line per finished workload.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    selected = WORKLOADS
+    if only is not None:
+        known = {w.name: w for w in WORKLOADS}
+        missing = [name for name in only if name not in known]
+        if missing:
+            raise ConfigurationError(
+                f"unknown bench workloads {missing!r}; "
+                f"choose from {sorted(known)}"
+            )
+        selected = tuple(known[name] for name in only)
+
+    import numpy as np
+
+    results: dict[str, dict] = {}
+    for workload in selected:
+        run, run_reference = workload.build(smoke)
+        entry = dict(_time_thunk(run, repeats))
+        entry["description"] = workload.description
+        if with_reference and run_reference is not None:
+            reference = _time_thunk(run_reference, repeats)
+            entry["reference_best_s"] = reference["best_s"]
+            entry["reference_median_s"] = reference["median_s"]
+            entry["speedup"] = reference["best_s"] / entry["best_s"]
+        results[workload.name] = entry
+        if progress is not None:
+            speedup = entry.get("speedup")
+            note = f"  ({speedup:.2f}x vs reference)" if speedup else ""
+            progress(
+                f"{workload.name:<28} best {entry['best_s'] * 1e3:9.3f} ms"
+                f"{note}"
+            )
+
+    return {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "repeats": repeats,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"{path}: not a {SCHEMA} report "
+            f"(schema={report.get('schema')!r})"
+        )
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Regression messages for every tracked workload that got slower.
+
+    A workload regresses when ``current best_s > baseline best_s *
+    (1 + tolerance)``; workloads present in the baseline but missing
+    from the current run are regressions too (a deleted workload must
+    be removed from the baseline deliberately).  Comparing a smoke
+    report against a full one (or vice versa) is a configuration error.
+    """
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    if bool(current.get("smoke")) != bool(baseline.get("smoke")):
+        raise ConfigurationError(
+            "cannot compare reports with different smoke flags "
+            f"(current smoke={bool(current.get('smoke'))}, "
+            f"baseline smoke={bool(baseline.get('smoke'))})"
+        )
+    regressions: list[str] = []
+    current_results = current.get("results", {})
+    for name, base in baseline.get("results", {}).items():
+        entry = current_results.get(name)
+        if entry is None:
+            regressions.append(f"{name}: missing from current run")
+            continue
+        limit = base["best_s"] * (1.0 + tolerance)
+        if entry["best_s"] > limit:
+            regressions.append(
+                f"{name}: best {entry['best_s'] * 1e3:.3f} ms exceeds "
+                f"baseline {base['best_s'] * 1e3:.3f} ms "
+                f"x {1.0 + tolerance:.2f} = {limit * 1e3:.3f} ms"
+            )
+    return regressions
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of one report."""
+    lines = [
+        f"bench report  (smoke={report['smoke']}, repeats={report['repeats']}, "
+        f"python {report['env']['python']}, numpy {report['env']['numpy']})",
+        f"{'workload':<28} {'best':>12} {'median':>12} "
+        f"{'reference':>12} {'speedup':>8}",
+    ]
+    for name, entry in sorted(report["results"].items()):
+        reference = entry.get("reference_best_s")
+        lines.append(
+            f"{name:<28} {entry['best_s'] * 1e3:>9.3f} ms "
+            f"{entry['median_s'] * 1e3:>9.3f} ms "
+            + (
+                f"{reference * 1e3:>9.3f} ms {entry['speedup']:>7.2f}x"
+                if reference is not None
+                else f"{'-':>12} {'-':>8}"
+            )
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover
+    """Allow ``python -m repro.bench`` as a thin alias of ``repro bench``."""
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

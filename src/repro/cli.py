@@ -9,6 +9,7 @@ Usage (after install)::
     python -m repro compare  --heuristics min-min,mct,met,olb
     python -m repro simulate --tasks 100 --machines 8 --policy mct
     python -m repro trace    --example min-min
+    python -m repro bench    --baseline BENCH_baseline.json
     python -m repro paper
 
 Every subcommand accepts ``--seed`` and is fully reproducible.
@@ -382,6 +383,41 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the tracked workloads; optionally compare against a baseline."""
+    from repro.bench import (
+        compare_reports,
+        format_report,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    report = run_bench(
+        smoke=args.smoke,
+        repeats=args.repeats,
+        with_reference=not args.no_reference,
+        only=args.workloads.split(",") if args.workloads else None,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"\nreport written to {args.output}")
+    if args.baseline:
+        regressions = compare_reports(
+            report, load_report(args.baseline), tolerance=args.tolerance
+        )
+        if regressions:
+            print(f"\nREGRESSION vs {args.baseline}:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nno regressions vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     """Replay the paper's five worked examples (compact form)."""
     from repro.etc.witness import (
@@ -555,6 +591,22 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("-o", "--output", help="Markdown path (stdout if omitted)")
     add_common(r, etc_classes=False)
     r.set_defaults(func=cmd_report)
+
+    b = sub.add_parser("bench", help="time the tracked scheduling workloads")
+    b.add_argument("--smoke", action="store_true",
+                   help="shrunken workloads (64x8) for quick sanity runs")
+    b.add_argument("--repeats", type=int, default=5,
+                   help="timing repetitions per workload (best is reported)")
+    b.add_argument("--no-reference", action="store_true",
+                   help="skip the retained pre-optimisation variants")
+    b.add_argument("--workloads",
+                   help="comma list restricting which workloads run")
+    b.add_argument("--baseline",
+                   help="bench JSON to compare against (exit 1 on regression)")
+    b.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed fractional slowdown vs baseline (0.5 = 50%%)")
+    b.add_argument("-o", "--output", help="write the report JSON here")
+    b.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("paper", help="replay the paper's worked examples")
     p.set_defaults(func=cmd_paper)

@@ -294,8 +294,10 @@ class IterativeScheduler:
                 break
 
             previous_mapping = mapping
-            current_etc = current_etc.without_machine(frozen_machine, [])
-            current_etc = current_etc.submatrix(tasks=surviving_tasks)
+            # One trusted restriction per freeze step: drops the frozen
+            # machine and its tasks in a single pass over the validated
+            # parent buffer (no re-validation, no intermediate matrix).
+            current_etc = current_etc.without_machine(frozen_machine, frozen_tasks)
 
         return final_finish, removal_order, records
 

@@ -92,7 +92,14 @@ class Mapping:
     heuristic, committed per pass).
     """
 
-    __slots__ = ("_etc", "_initial_ready", "_ready", "_assignments", "_by_task")
+    __slots__ = (
+        "_etc",
+        "_initial_ready",
+        "_ready",
+        "_assignments",
+        "_by_task",
+        "_by_machine",
+    )
 
     def __init__(
         self,
@@ -104,6 +111,10 @@ class Mapping:
         self._ready = self._initial_ready.copy()
         self._assignments: list[Assignment] = []
         self._by_task: dict[str, Assignment] = {}
+        # Per-machine task lists in assignment order, maintained by
+        # assign() so machine_tasks() is O(tasks on that machine), not a
+        # full scan (the iterative freeze step calls it every iteration).
+        self._by_machine: list[list[str]] = [[] for _ in range(etc.num_machines)]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -152,8 +163,7 @@ class Mapping:
 
     def machine_tasks(self, machine: str) -> tuple[str, ...]:
         """Tasks on ``machine`` in execution (assignment) order."""
-        self._etc.machine_index(machine)  # validate label
-        return tuple(a.task for a in self._assignments if a.machine == machine)
+        return tuple(self._by_machine[self._etc.machine_index(machine)])
 
     # ------------------------------------------------------------------
     # Timing queries — Eq. (1)
@@ -165,6 +175,15 @@ class Mapping:
     def ready_times(self) -> np.ndarray:
         """Copy of the current ready-time vector over ``self.machines``."""
         return self._ready.copy()
+
+    def ready_times_view(self) -> np.ndarray:
+        """The *live* internal ready-time vector (no copy).
+
+        Fast path for heuristic kernels that read ready times every
+        round: the array mutates as assignments are committed.  Callers
+        must treat it as read-only and never hold it across mappings.
+        """
+        return self._ready
 
     def initial_ready_times(self) -> np.ndarray:
         """Copy of the initial ready-time vector."""
@@ -191,6 +210,25 @@ class Mapping:
             raise MappingError(f"task {task!r} is already assigned")
         ti = self._etc.task_index(task)
         mi = self._etc.machine_index(machine)
+        return self._commit(ti, mi, task, machine)
+
+    def assign_index(self, task_index: int, machine_index: int) -> Assignment:
+        """Index-space :meth:`assign` fast path for heuristic kernels.
+
+        Skips the label→index dictionary lookups; indices refer to the
+        ETC matrix's row/column order and must be in range (out-of-range
+        indices raise ``IndexError``).  Timing arithmetic is identical
+        to :meth:`assign`.
+        """
+        etc = self._etc
+        task = etc.tasks[task_index]
+        if task in self._by_task:
+            raise MappingError(f"task {task!r} is already assigned")
+        return self._commit(
+            task_index, machine_index, task, etc.machines[machine_index]
+        )
+
+    def _commit(self, ti: int, mi: int, task: str, machine: str) -> Assignment:
         start = float(self._ready[mi])
         completion = start + float(self._etc.values[ti, mi])
         assignment = Assignment(
@@ -202,6 +240,7 @@ class Mapping:
         )
         self._assignments.append(assignment)
         self._by_task[task] = assignment
+        self._by_machine[mi].append(task)
         self._ready[mi] = completion
         return assignment
 

@@ -29,6 +29,21 @@ def default_machine_labels(count: int) -> tuple[str, ...]:
     return tuple(f"m{i}" for i in range(count))
 
 
+def _contiguous_slice(indices: Sequence[int]) -> slice | None:
+    """The equivalent slice for an ascending step-1 index run, else ``None``."""
+    if isinstance(indices, range):
+        if indices.step == 1:
+            return slice(indices.start, indices.stop)
+        return None
+    first = indices[0]
+    if indices[-1] - first + 1 != len(indices):
+        return None
+    for offset, idx in enumerate(indices):
+        if idx != first + offset:
+            return None
+    return slice(first, first + len(indices))
+
+
 def _check_labels(labels: Sequence[str], kind: str, expected: int) -> tuple[str, ...]:
     labels = tuple(str(x) for x in labels)
     if len(labels) != expected:
@@ -61,7 +76,14 @@ class ETCMatrix:
     copies; the heuristics read rows/columns as views of this array).
     """
 
-    __slots__ = ("_values", "_tasks", "_machines", "_task_index", "_machine_index")
+    __slots__ = (
+        "_values",
+        "_tasks",
+        "_machines",
+        "_task_index",
+        "_machine_index",
+        "_hash",
+    )
 
     def __init__(
         self,
@@ -93,10 +115,39 @@ class ETCMatrix:
         )
         self._task_index = {label: i for i, label in enumerate(self._tasks)}
         self._machine_index = {label: j for j, label in enumerate(self._machines)}
+        self._hash = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_trusted(
+        cls,
+        values: np.ndarray,
+        tasks: tuple[str, ...],
+        machines: tuple[str, ...],
+    ) -> "ETCMatrix":
+        """Fast-path constructor for restrictions of a validated matrix.
+
+        Skips the finiteness/positivity scan and label checks (every
+        value and label comes from an already-validated parent) and
+        defers the label→index dictionaries until a label lookup needs
+        them — hot iterative loops that work in index space never pay
+        for them.  ``values`` may be a read-only *view* of the parent
+        buffer (zero-copy restriction); callers must never pass a
+        writable array they intend to mutate.
+        """
+        self = object.__new__(cls)
+        if values.flags.writeable:
+            values.setflags(write=False)
+        self._values = values
+        self._tasks = tasks
+        self._machines = machines
+        self._task_index = None
+        self._machine_index = None
+        self._hash = None
+        return self
+
     @classmethod
     def from_dict(
         cls, table: Mapping[str, Mapping[str, float]]
@@ -150,25 +201,41 @@ class ETCMatrix:
     def shape(self) -> tuple[int, int]:
         return self._values.shape
 
+    def _task_lookup(self) -> dict[str, int]:
+        index = self._task_index
+        if index is None:
+            index = self._task_index = {
+                label: i for i, label in enumerate(self._tasks)
+            }
+        return index
+
+    def _machine_lookup(self) -> dict[str, int]:
+        index = self._machine_index
+        if index is None:
+            index = self._machine_index = {
+                label: j for j, label in enumerate(self._machines)
+            }
+        return index
+
     def task_index(self, task: str) -> int:
         """Row index of ``task``; raises :class:`LabelError` if unknown."""
         try:
-            return self._task_index[task]
+            return self._task_lookup()[task]
         except KeyError:
             raise LabelError(f"unknown task label {task!r}") from None
 
     def machine_index(self, machine: str) -> int:
         """Column index of ``machine``; raises :class:`LabelError`."""
         try:
-            return self._machine_index[machine]
+            return self._machine_lookup()[machine]
         except KeyError:
             raise LabelError(f"unknown machine label {machine!r}") from None
 
     def has_task(self, task: str) -> bool:
-        return task in self._task_index
+        return task in self._task_lookup()
 
     def has_machine(self, machine: str) -> bool:
-        return machine in self._machine_index
+        return machine in self._machine_lookup()
 
     # ------------------------------------------------------------------
     # Value access
@@ -190,6 +257,42 @@ class ETCMatrix:
     # ------------------------------------------------------------------
     # Restriction — the operation the iterative technique needs
     # ------------------------------------------------------------------
+    def _restricted(
+        self, rows: Sequence[int], cols: Sequence[int]
+    ) -> "ETCMatrix":
+        """Build the restriction to ``rows`` × ``cols`` (trusted indices).
+
+        Indices must already be validated (in range); labels are taken
+        from the parent so the result shares its canonical label
+        objects.  When a selection is a contiguous run the backing
+        array is a read-only *view* of the parent buffer (no copy); the
+        general case performs exactly one fancy-index copy and never
+        re-validates values.
+        """
+        if not rows or not cols:
+            raise ETCShapeError("submatrix must keep at least one task and machine")
+        task_labels = tuple(self._tasks[i] for i in rows)
+        machine_labels = tuple(self._machines[j] for j in cols)
+        if len(set(rows)) != len(rows):
+            raise ETCShapeError(f"task labels contain duplicates: {task_labels!r}")
+        if len(set(cols)) != len(cols):
+            raise ETCShapeError(
+                f"machine labels contain duplicates: {machine_labels!r}"
+            )
+        if task_labels == self._tasks and machine_labels == self._machines:
+            return self
+        row_slice = _contiguous_slice(rows)
+        col_slice = _contiguous_slice(cols)
+        if row_slice is not None and col_slice is not None:
+            sub = self._values[row_slice, col_slice]  # pure view, zero-copy
+        elif row_slice is not None:
+            sub = self._values[row_slice][:, list(cols)]
+        elif col_slice is not None:
+            sub = self._values[:, col_slice][list(rows)]
+        else:
+            sub = self._values[np.ix_(list(rows), list(cols))]
+        return ETCMatrix._from_trusted(sub, task_labels, machine_labels)
+
     def submatrix(
         self,
         tasks: Sequence[str] | None = None,
@@ -199,27 +302,36 @@ class ETCMatrix:
 
         ``None`` keeps the full axis.  Order follows the order given by
         the caller, enabling deterministic "arbitrary but fixed" task
-        lists across iterations (paper Section 3.3).
+        lists across iterations (paper Section 3.3).  The result reuses
+        the parent's validated buffer: contiguous selections are
+        read-only views, anything else is a single fancy-index copy,
+        and values are never re-checked.
         """
-        task_labels = self._tasks if tasks is None else tuple(tasks)
-        machine_labels = self._machines if machines is None else tuple(machines)
-        if not task_labels or not machine_labels:
-            raise ETCShapeError("submatrix must keep at least one task and machine")
-        rows = [self.task_index(t) for t in task_labels]
-        cols = [self.machine_index(m) for m in machine_labels]
-        sub = self._values[np.ix_(rows, cols)]
-        return ETCMatrix(sub, tasks=task_labels, machines=machine_labels)
+        if tasks is None and machines is None:
+            return self
+        rows = (
+            range(self.num_tasks)
+            if tasks is None
+            else [self.task_index(t) for t in tasks]
+        )
+        cols = (
+            range(self.num_machines)
+            if machines is None
+            else [self.machine_index(m) for m in machines]
+        )
+        return self._restricted(rows, cols)
 
     def without_machine(self, machine: str, dropped_tasks: Iterable[str]) -> "ETCMatrix":
         """Drop ``machine`` and ``dropped_tasks`` — one iterative step."""
         dropped = set(dropped_tasks)
-        keep_tasks = [t for t in self._tasks if t not in dropped]
-        keep_machines = [m for m in self._machines if m != machine]
-        # Validate dropped labels up-front so typos fail loudly.
+        # Validate every dropped label *before* doing any restriction
+        # work, so a typo fails loudly without constructing anything.
         for t in dropped:
             self.task_index(t)
-        self.machine_index(machine)
-        return self.submatrix(tasks=keep_tasks, machines=keep_machines)
+        mj = self.machine_index(machine)
+        rows = [i for i, t in enumerate(self._tasks) if t not in dropped]
+        cols = [j for j in range(self.num_machines) if j != mj]
+        return self._restricted(rows, cols)
 
     # ------------------------------------------------------------------
     # Dunder protocol
@@ -234,7 +346,14 @@ class ETCMatrix:
         )
 
     def __hash__(self) -> int:
-        return hash((self._tasks, self._machines, self._values.tobytes()))
+        # The array is immutable, so the (expensive) byte serialisation
+        # is memoized after the first call.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(
+                (self._tasks, self._machines, self._values.tobytes())
+            )
+        return h
 
     def __repr__(self) -> str:
         return (

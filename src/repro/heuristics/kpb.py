@@ -33,10 +33,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.schedule import Mapping
-from repro.core.ties import TieBreaker, tied_argmin
+from repro.core.ties import DeterministicTieBreaker, TieBreaker, tied_argmin
 from repro.etc.matrix import ETCMatrix
 from repro.exceptions import ConfigurationError
 from repro.heuristics.base import Heuristic, register_heuristic
+from repro.heuristics.kernels import first_tied_min_index, tied_min_indices
 from repro.obs.tracer import get_tracer
 
 __all__ = ["KPercentBest", "KPBStep", "kpb_subset_size"]
@@ -66,12 +67,15 @@ class KPercentBest(Heuristic):
 
     name = "k-percent-best"
 
-    def __init__(self, percent: float = 70.0) -> None:
+    def __init__(self, percent: float = 70.0, *, incremental: bool = True) -> None:
         if not 0.0 < percent <= 100.0:
             raise ConfigurationError(
                 f"percent must be in (0, 100], got {percent}"
             )
         self.percent = float(percent)
+        #: Use the batched-subset kernel (default); the per-task argsort
+        #: reference path is kept for equivalence tests.
+        self.incremental = bool(incremental)
         self.last_trace: tuple[KPBStep, ...] = ()
 
     def subset_for(self, etc: ETCMatrix, task: str) -> tuple[str, ...]:
@@ -87,6 +91,59 @@ class KPercentBest(Heuristic):
         tie_breaker: TieBreaker,
         seed_mapping: dict[str, str] | None,
     ) -> None:
+        if self.incremental:
+            self._run_incremental(mapping, tie_breaker)
+        else:
+            self._run_reference(mapping, tie_breaker)
+
+    def _run_incremental(self, mapping: Mapping, tie_breaker: TieBreaker) -> None:
+        """Batched kernel: subsets depend only on ETC values, so all T
+        per-task argsorts collapse into one vectorised axis-1 argsort."""
+        etc = mapping.etc
+        tracer = get_tracer()
+        values = etc.values
+        machines = etc.machines
+        size = kpb_subset_size(etc.num_machines, self.percent)
+        subsets = np.sort(
+            np.argsort(values, axis=1, kind="stable")[:, :size], axis=1
+        )
+        subset_lists = subsets.tolist()
+        ready = mapping.ready_times_view()
+        trace: list[KPBStep] = []
+        fast_ties = (
+            type(tie_breaker) is DeterministicTieBreaker and not tracer.enabled
+        )
+        for ti, task in enumerate(etc.tasks):
+            subset_idx = subsets[ti]
+            completion = values[ti, subset_idx] + ready[subset_idx]
+            if fast_ties:
+                pick = first_tied_min_index(completion)
+            else:
+                pick = tie_breaker.choose(tied_min_indices(completion))
+            machine_idx = subset_lists[ti][pick]
+            assignment = mapping.assign_index(ti, machine_idx)
+            subset = tuple(machines[j] for j in subset_lists[ti])
+            if tracer.enabled:
+                tracer.event(
+                    "k-percent-best.decision",
+                    task=task,
+                    subset=subset,
+                    subset_size=size,
+                    machine=assignment.machine,
+                    completion=assignment.completion,
+                )
+                tracer.count("decisions")
+            trace.append(
+                KPBStep(
+                    task=task,
+                    subset=subset,
+                    machine=assignment.machine,
+                    completion=assignment.completion,
+                )
+            )
+        self.last_trace = tuple(trace)
+
+    def _run_reference(self, mapping: Mapping, tie_breaker: TieBreaker) -> None:
         etc = mapping.etc
         tracer = get_tracer()
         size = kpb_subset_size(etc.num_machines, self.percent)

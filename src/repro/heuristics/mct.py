@@ -20,8 +20,9 @@ shows by example that random tie-breaking can increase makespan.
 from __future__ import annotations
 
 from repro.core.schedule import Mapping
-from repro.core.ties import TieBreaker, tied_argmin
+from repro.core.ties import DeterministicTieBreaker, TieBreaker, tied_argmin
 from repro.heuristics.base import Heuristic, register_heuristic
+from repro.heuristics.kernels import first_tied_min_index, tied_min_indices
 from repro.obs.tracer import get_tracer
 
 __all__ = ["MCT"]
@@ -33,12 +34,51 @@ class MCT(Heuristic):
 
     name = "mct"
 
+    def __init__(self, *, incremental: bool = True) -> None:
+        #: Use the index-space kernel (default); the label-space
+        #: reference path is kept for equivalence tests.
+        self.incremental = bool(incremental)
+
     def _run(
         self,
         mapping: Mapping,
         tie_breaker: TieBreaker,
         seed_mapping: dict[str, str] | None,
     ) -> None:
+        if self.incremental:
+            self._run_incremental(mapping, tie_breaker)
+        else:
+            self._run_reference(mapping, tie_breaker)
+
+    def _run_incremental(self, mapping: Mapping, tie_breaker: TieBreaker) -> None:
+        """Index-space kernel: no label lookups, live ready vector."""
+        etc = mapping.etc
+        tracer = get_tracer()
+        values = etc.values
+        machines = etc.machines
+        ready = mapping.ready_times_view()
+        fast_ties = (
+            type(tie_breaker) is DeterministicTieBreaker and not tracer.enabled
+        )
+        for ti, task in enumerate(etc.tasks):
+            completion = values[ti] + ready
+            if fast_ties:
+                machine_idx = first_tied_min_index(completion)
+            else:
+                candidates = tied_min_indices(completion)
+                machine_idx = tie_breaker.choose(candidates)
+            assignment = mapping.assign_index(ti, machine_idx)
+            if tracer.enabled:
+                tracer.event(
+                    "mct.decision",
+                    task=task,
+                    machine=assignment.machine,
+                    completion=assignment.completion,
+                    tied=tuple(machines[int(j)] for j in candidates),
+                )
+                tracer.count("decisions")
+
+    def _run_reference(self, mapping: Mapping, tie_breaker: TieBreaker) -> None:
         etc = mapping.etc
         tracer = get_tracer()
         for task in etc.tasks:

@@ -164,6 +164,53 @@ class TestQueries:
         assert "assigned=0/2" in repr(m)
 
 
+class TestIndexFastPath:
+    """assign_index / ready_times_view — the kernels' zero-lookup API."""
+
+    def test_assign_index_matches_assign(self, square_etc, rng):
+        by_label = Mapping(square_etc)
+        by_index = Mapping(square_etc)
+        pairs = [
+            (ti, int(rng.integers(square_etc.num_machines)))
+            for ti in range(square_etc.num_tasks)
+        ]
+        for ti, mi in pairs:
+            by_label.assign(square_etc.tasks[ti], square_etc.machines[mi])
+            by_index.assign_index(ti, mi)
+        assert by_label.same_assignments(by_index)
+        assert by_label.makespan() == by_index.makespan()
+
+    def test_assign_index_double_assign_rejected(self, tiny_etc):
+        m = Mapping(tiny_etc)
+        m.assign_index(0, 0)
+        with pytest.raises(MappingError):
+            m.assign_index(0, 1)
+
+    def test_assign_index_out_of_range(self, tiny_etc):
+        with pytest.raises(IndexError):
+            Mapping(tiny_etc).assign_index(99, 0)
+
+    def test_ready_times_view_is_live(self, tiny_etc):
+        m = Mapping(tiny_etc)
+        view = m.ready_times_view()
+        before = view.copy()
+        a = m.assign("a", "x")
+        assert view[0] == a.completion
+        assert view[1] == before[1]
+
+    def test_machine_tasks_tracks_assign_index(self, square_etc):
+        m = Mapping(square_etc)
+        m.assign_index(0, 1)
+        m.assign_index(2, 1)
+        m.assign_index(1, 0)
+        assert m.machine_tasks(square_etc.machines[1]) == (
+            square_etc.tasks[0],
+            square_etc.tasks[2],
+        )
+        assert m.machine_tasks(square_etc.machines[0]) == (square_etc.tasks[1],)
+        assert m.machine_tasks(square_etc.machines[2]) == ()
+
+
 class TestFinishTimesForVector:
     def test_matches_incremental_mapping(self, square_etc, rng):
         for _ in range(10):

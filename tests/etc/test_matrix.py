@@ -182,3 +182,59 @@ class TestDunder:
 def test_default_labels():
     assert default_task_labels(3) == ("t0", "t1", "t2")
     assert default_machine_labels(2) == ("m0", "m1")
+
+
+class TestTrustedRestriction:
+    """The zero-copy fast path: views, no re-validation, eager label checks."""
+
+    def test_contiguous_restriction_is_readonly_view(self, square_etc):
+        sub = square_etc.submatrix(
+            tasks=square_etc.tasks[1:], machines=square_etc.machines[:2]
+        )
+        assert not sub.values.flags.writeable
+        assert np.shares_memory(sub.values, square_etc.values)
+
+    def test_noncontiguous_restriction_copies_once(self, square_etc):
+        sub = square_etc.submatrix(tasks=[square_etc.tasks[0], square_etc.tasks[2]])
+        assert not np.shares_memory(sub.values, square_etc.values)
+        assert not sub.values.flags.writeable
+
+    def test_without_machine_drops_contiguously(self, square_etc):
+        # Dropping the last machine keeps a contiguous prefix: a view.
+        sub = square_etc.without_machine(square_etc.machines[-1], [])
+        assert np.shares_memory(sub.values, square_etc.values)
+
+    def test_restriction_labels_are_parent_objects(self, square_etc):
+        sub = square_etc.submatrix(machines=square_etc.machines[1:])
+        for label in sub.machines:
+            assert any(label is parent for parent in square_etc.machines)
+
+    def test_without_machine_typo_fails_before_restriction(
+        self, square_etc, monkeypatch
+    ):
+        """A typo'd dropped-task label raises before any submatrix is built."""
+        calls = []
+
+        def spy(self, rows, cols):
+            calls.append((tuple(rows), tuple(cols)))
+            raise AssertionError("restriction must not run for bad labels")
+
+        monkeypatch.setattr(ETCMatrix, "_restricted", spy)
+        with pytest.raises(LabelError):
+            square_etc.without_machine(square_etc.machines[0], ["no-such-task"])
+        assert calls == []
+
+    def test_hash_is_memoized(self):
+        etc = ETCMatrix([[1.0, 2.0], [3.0, 4.0]])
+        assert etc._hash is None
+        first = hash(etc)
+        assert etc._hash == first
+        assert hash(etc) == first
+
+    def test_restricted_hash_matches_fresh_equal_matrix(self, square_etc):
+        sub = square_etc.submatrix(tasks=square_etc.tasks[:2])
+        rebuilt = ETCMatrix(
+            np.asarray(sub.values), tasks=sub.tasks, machines=sub.machines
+        )
+        assert sub == rebuilt
+        assert hash(sub) == hash(rebuilt)
