@@ -1,11 +1,23 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test smoke-obs bench bench-smoke bench-baseline bench-pytest
+.PHONY: test lint smoke-obs bench bench-smoke bench-baseline bench-pytest
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 	$(MAKE) bench-smoke
+
+# Static checks.  Uses ruff (configured in pyproject.toml) when it is on
+# PATH; otherwise falls back to the zero-dependency checker in
+# tools/lint_fallback.py (syntax + unused/duplicate imports) so the
+# target works in minimal containers too.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples tools; \
+	else \
+		echo "ruff not found; running tools/lint_fallback.py"; \
+		$(PYTHON) tools/lint_fallback.py src tests benchmarks examples tools; \
+	fi
 
 # Observability smoke: the obs-marked battery (trace replays, tracer /
 # metrics / export units, tracing-purity properties) plus one CLI

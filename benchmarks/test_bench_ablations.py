@@ -14,7 +14,6 @@ fixes by fiat, showing how sensitive each result is:
 """
 
 import numpy as np
-import pytest
 
 from repro.core.iterative import IterativeScheduler
 from repro.core.ties import tied_argmin

@@ -9,7 +9,6 @@ multiplicative noise — including whether the iterative technique's
 final configuration is more or less fragile than the original mapping.
 """
 
-import numpy as np
 
 from repro.analysis.robustness import makespan_degradation, robustness_radius
 from repro.core.iterative import IterativeScheduler

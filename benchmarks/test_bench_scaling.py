@@ -8,7 +8,6 @@ the multiprocess grid runner's serial-equivalence at scale.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.analysis.experiments import ExperimentConfig, run_experiment

@@ -11,6 +11,7 @@ grid never perturbs another heuristic's stream.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 
@@ -24,6 +25,7 @@ from repro.etc.generation import Consistency, Heterogeneity, generate_ensemble
 from repro.etc.matrix import ETCMatrix
 from repro.exceptions import ConfigurationError
 from repro.heuristics.base import get_heuristic
+from repro.obs.metrics import TIME_BUCKETS
 from repro.obs.tracer import get_tracer
 
 __all__ = ["ExperimentConfig", "RunRecord", "run_experiment", "stable_key"]
@@ -99,6 +101,7 @@ def run_experiment(config: ExperimentConfig) -> list[RunRecord]:
 
     for het in config.heterogeneities:
         for cons in config.consistencies:
+            cell_started = time.perf_counter()
             with tracer.span(
                 "experiment.cell",
                 heterogeneity=het.value,
@@ -132,6 +135,15 @@ def run_experiment(config: ExperimentConfig) -> list[RunRecord]:
                         records.append(
                             _run_one(config, name, het, cons, idx, etc, h_rng, t_rng)
                         )
+            if tracer.enabled:
+                # Wall-clock histogram (``_s`` suffix = timing values,
+                # compared structurally, not byte-identically, by the
+                # merge properties — see repro.obs.metrics).
+                tracer.observe(
+                    "experiment.cell_runtime_s",
+                    time.perf_counter() - cell_started,
+                    buckets=TIME_BUCKETS,
+                )
     return records
 
 
@@ -172,6 +184,10 @@ def _run_one(
             makespan_increased=result.makespan_increased(),
         )
         tracer.count("experiment.runs")
+        tracer.observe("experiment.iterations", result.num_iterations)
+        # Last-writer-wins gauge: merged value equals the serial run's
+        # because snapshots merge in cell order.
+        tracer.gauge("experiment.last_original_makespan", result.original.makespan)
     return RunRecord(
         heuristic=name,
         heterogeneity=het,

@@ -32,9 +32,14 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.analysis.experiments import ExperimentConfig, RunRecord, run_experiment
 from repro.exceptions import ConfigurationError
+from repro.obs.progress import NULL_PROGRESS
 from repro.obs.tracer import CollectingTracer, ObsSnapshot, get_tracer, use_tracer
 
 __all__ = ["split_into_cells", "run_experiment_parallel"]
+
+
+def _cell_label(cell: ExperimentConfig) -> str:
+    return f"{cell.heterogeneities[0].value}/{cell.consistencies[0].value}"
 
 
 def _run_cell_observed(
@@ -63,26 +68,49 @@ def split_into_cells(config: ExperimentConfig) -> list[ExperimentConfig]:
 
 
 def run_experiment_parallel(
-    config: ExperimentConfig, max_workers: int | None = None
+    config: ExperimentConfig,
+    max_workers: int | None = None,
+    progress=None,
 ) -> list[RunRecord]:
-    """Run the grid across processes; output order matches the serial run."""
+    """Run the grid across processes; output order matches the serial run.
+
+    ``progress`` is an optional :class:`~repro.obs.progress.ProgressReporter`
+    advanced once per completed (heterogeneity, consistency) cell.  It
+    renders to its own stream and never touches the tracer, so the
+    merged event stream stays byte-identical with progress on or off.
+    """
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    progress = progress if progress is not None else NULL_PROGRESS
     cells = split_into_cells(config)
-    if len(cells) == 1 or max_workers == 1:
-        # Serial fallback: runs under the caller's tracer directly.
-        return run_experiment(config)
-    tracer = get_tracer()
-    records: list[RunRecord] = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        if not tracer.enabled:
-            for cell_records in pool.map(run_experiment, cells):
-                records.extend(cell_records)
-        else:
-            # pool.map yields results in submission (= cell) order, so
-            # merging here is deterministic regardless of which worker
-            # finished first.
-            for cell_records, snapshot in pool.map(_run_cell_observed, cells):
-                records.extend(cell_records)
-                tracer.merge_snapshot(snapshot)
-    return records
+    if progress.enabled:
+        progress.total = len(cells)
+    progress.start()
+    try:
+        if len(cells) == 1 or max_workers == 1:
+            # Serial fallback: runs under the caller's tracer directly.
+            records = []
+            for cell in cells:
+                records.extend(run_experiment(cell))
+                progress.advance(_cell_label(cell))
+            return records
+        tracer = get_tracer()
+        records = []
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            if not tracer.enabled:
+                for cell, cell_records in zip(cells, pool.map(run_experiment, cells)):
+                    records.extend(cell_records)
+                    progress.advance(_cell_label(cell))
+            else:
+                # pool.map yields results in submission (= cell) order, so
+                # merging here is deterministic regardless of which worker
+                # finished first.
+                for cell, (cell_records, snapshot) in zip(
+                    cells, pool.map(_run_cell_observed, cells)
+                ):
+                    records.extend(cell_records)
+                    tracer.merge_snapshot(snapshot)
+                    progress.advance(_cell_label(cell))
+        return records
+    finally:
+        progress.finish()

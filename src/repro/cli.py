@@ -9,17 +9,27 @@ Usage (after install)::
     python -m repro compare  --heuristics min-min,mct,met,olb
     python -m repro simulate --tasks 100 --machines 8 --policy mct
     python -m repro trace    --example min-min
-    python -m repro bench    --baseline BENCH_baseline.json
+    python -m repro bench    --baseline BENCH_baseline.json --append-ledger
+    python -m repro obs      tail
+    python -m repro obs      summary
+    python -m repro obs      diff -2 -1
     python -m repro paper
 
-Every subcommand accepts ``--seed`` and is fully reproducible.
+Every subcommand accepts ``--seed`` and is fully reproducible.  The
+result-producing subcommands (``bench``, ``study``, ``compare``,
+``export``, ``report``) accept ``--append-ledger`` to append one
+fingerprinted ``repro-ledger/1`` record to the run ledger (default
+``.repro/ledger.jsonl``), which the ``obs`` family inspects.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
+
+from repro import __version__
 
 from repro.analysis.gantt import render_gantt
 from repro.analysis.study import (
@@ -78,6 +88,45 @@ def _make_heuristic(name: str, seed: int):
     if name in ("genitor", "random", "simulated-annealing", "tabu-search"):
         kwargs["rng"] = seed
     return get_heuristic(name, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# run-ledger plumbing (see repro.obs.ledger)
+# ----------------------------------------------------------------------
+def _ledger_append(
+    args: argparse.Namespace,
+    command: str,
+    *,
+    started: float,
+    config: dict,
+    metrics: dict,
+    counters: dict | None = None,
+    extra: dict | None = None,
+) -> None:
+    """Build and append one ledger record for a finished command."""
+    from repro.obs.ledger import RunLedger, build_record
+
+    record = build_record(
+        command,
+        seed=getattr(args, "seed", None),
+        config=config,
+        metrics=metrics,
+        counters=counters,
+        duration_s=round(time.perf_counter() - started, 6),
+        extra=extra,
+    )
+    ledger = RunLedger(args.ledger)
+    ledger.append(record)
+    print(f"ledger: appended run {record['run_id']} to {ledger.path}")
+
+
+def _maybe_collect(enabled: bool):
+    """A collecting-tracer context when ``enabled``, else a no-op one."""
+    from contextlib import nullcontext
+
+    from repro.obs import CollectingTracer, use_tracer
+
+    return use_tracer(CollectingTracer()) if enabled else nullcontext(None)
 
 
 # ----------------------------------------------------------------------
@@ -148,22 +197,60 @@ def cmd_iterate(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
-    rows = improvement_study(
-        heuristics=tuple(args.heuristics.split(",")),
-        num_tasks=args.tasks,
-        num_machines=args.machines,
-        instances=args.instances,
-        heterogeneity=args.heterogeneity,
-        consistency=args.consistency,
-        tie_policies=tuple(args.ties.split(",")),
-        seeded_iterations=args.seeded,
-        seed=args.seed,
-    )
+    started = time.perf_counter()
+    with _maybe_collect(args.append_ledger) as tracer:
+        rows = improvement_study(
+            heuristics=tuple(args.heuristics.split(",")),
+            num_tasks=args.tasks,
+            num_machines=args.machines,
+            instances=args.instances,
+            heterogeneity=args.heterogeneity,
+            consistency=args.consistency,
+            tie_policies=tuple(args.ties.split(",")),
+            seeded_iterations=args.seeded,
+            seed=args.seed,
+        )
     print(format_improvement_table(rows))
+    if args.append_ledger:
+        import numpy as np
+
+        metrics = {}
+        for r in rows:
+            prefix = f"{r.heuristic}.{r.tie_policy}"
+            metrics[f"{prefix}.mapping_change_rate"] = r.mapping_change_rate
+            metrics[f"{prefix}.makespan_increase_rate"] = r.makespan_increase_rate
+            metrics[f"{prefix}.machine_improved_rate"] = r.machine_improved_rate
+            metrics[f"{prefix}.non_makespan_improvement_mean"] = (
+                r.mean_improvement.mean
+            )
+        metrics["makespan_increase_rate_mean"] = float(
+            np.mean([r.makespan_increase_rate for r in rows])
+        )
+        metrics["non_makespan_improvement_mean"] = float(
+            np.mean([r.mean_improvement.mean for r in rows])
+        )
+        _ledger_append(
+            args,
+            "study",
+            started=started,
+            config={
+                "heuristics": args.heuristics,
+                "tasks": args.tasks,
+                "machines": args.machines,
+                "instances": args.instances,
+                "heterogeneity": args.heterogeneity.value,
+                "consistency": args.consistency.value,
+                "ties": args.ties,
+                "seeded": args.seeded,
+            },
+            metrics=metrics,
+            counters=tracer.counters.as_dict() if tracer is not None else None,
+        )
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
     rows = heuristic_comparison(
         tuple(args.heuristics.split(",")),
         num_tasks=args.tasks,
@@ -174,6 +261,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(format_comparison_table(rows))
+    if args.append_ledger:
+        import numpy as np
+
+        metrics = {
+            f"{r.heuristic}.{r.etc_class}.makespan_mean": r.mean_makespan
+            for r in rows
+        }
+        metrics["makespan_mean_overall"] = float(
+            np.mean([r.mean_makespan for r in rows])
+        )
+        _ledger_append(
+            args,
+            "compare",
+            started=started,
+            config={
+                "heuristics": args.heuristics,
+                "tasks": args.tasks,
+                "machines": args.machines,
+                "instances": args.instances,
+                "heterogeneity": args.heterogeneity.value,
+                "consistency": args.consistency.value,
+            },
+            metrics=metrics,
+        )
     return 0
 
 
@@ -216,7 +327,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"unknown policy {args.policy!r}; choose from {sorted(policies)}",
               file=sys.stderr)
         return 2
-    trace = policies[args.policy]().run()
+    from repro.obs.progress import make_progress
+
+    trace = policies[args.policy]().run(
+        progress=make_progress(args.progress, label=f"sim {args.policy}"),
+        progress_every=max(1, args.tasks // 10),
+    )
     print(f"policy          : {args.policy}")
     print(f"tasks executed  : {len(trace)}")
     print(f"makespan        : {trace.makespan():.6g}")
@@ -271,7 +387,9 @@ def cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import ExperimentConfig
     from repro.analysis.export import run_records_to_rows, write_csv, write_json
     from repro.analysis.parallel import run_experiment_parallel
+    from repro.obs.progress import make_progress
 
+    started = time.perf_counter()
     config = ExperimentConfig(
         heuristics=tuple(args.heuristics.split(",")),
         num_tasks=args.tasks,
@@ -283,13 +401,55 @@ def cmd_export(args: argparse.Namespace) -> int:
         seeded_iterations=args.seeded,
         seed=args.seed,
     )
-    records = run_experiment_parallel(config, max_workers=args.workers)
+    with _maybe_collect(args.append_ledger) as tracer:
+        records = run_experiment_parallel(
+            config,
+            max_workers=args.workers,
+            progress=make_progress(args.progress, label="cells"),
+        )
     rows = run_records_to_rows(records)
     if args.output.endswith(".json"):
         write_json(rows, args.output)
     else:
         write_csv(rows, args.output)
     print(f"wrote {len(rows)} run records to {args.output}")
+    if args.append_ledger:
+        import numpy as np
+
+        comparisons = [r.comparison for r in records]
+        metrics = {
+            "original_makespan_mean": float(
+                np.mean([c.original_makespan for c in comparisons])
+            ),
+            "final_makespan_mean": float(
+                np.mean([c.final_makespan for c in comparisons])
+            ),
+            "makespan_increase_rate": float(
+                np.mean([c.makespan_increased for c in comparisons])
+            ),
+            "non_makespan_improvement_mean": float(
+                np.mean([c.mean_delta for c in comparisons])
+            ),
+            "runs": len(records),
+        }
+        _ledger_append(
+            args,
+            "export",
+            started=started,
+            config={
+                "heuristics": args.heuristics,
+                "tasks": args.tasks,
+                "machines": args.machines,
+                "instances": args.instances,
+                "heterogeneity": args.heterogeneity.value,
+                "consistency": args.consistency.value,
+                "ties": args.ties,
+                "seeded": args.seeded,
+                "workers": args.workers,
+            },
+            metrics=metrics,
+            counters=tracer.counters.as_dict() if tracer is not None else None,
+        )
     return 0
 
 
@@ -297,6 +457,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     """Generate the full reproduction report (Markdown)."""
     from repro.analysis.report import build_report
 
+    started = time.perf_counter()
     text = build_report(quick=args.quick, seed=args.seed)
     if args.output:
         from pathlib import Path
@@ -305,6 +466,14 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(text)
+    if args.append_ledger:
+        _ledger_append(
+            args,
+            "report",
+            started=started,
+            config={"quick": args.quick, "output": args.output},
+            metrics={"report_chars": len(text)},
+        )
     return 0
 
 
@@ -393,6 +562,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
+    started = time.perf_counter()
     report = run_bench(
         smoke=args.smoke,
         repeats=args.repeats,
@@ -404,6 +574,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.output:
         write_report(report, args.output)
         print(f"\nreport written to {args.output}")
+    if args.append_ledger:
+        metrics = {}
+        for name, entry in report["results"].items():
+            metrics[f"bench.{name}.best_s"] = entry["best_s"]
+            if "speedup" in entry:
+                metrics[f"bench.{name}.speedup"] = entry["speedup"]
+        _ledger_append(
+            args,
+            "bench",
+            started=started,
+            config={
+                "smoke": args.smoke,
+                "repeats": args.repeats,
+                "with_reference": not args.no_reference,
+                "workloads": args.workloads,
+            },
+            metrics=metrics,
+            extra={"bench_report": report},
+        )
     if args.baseline:
         regressions = compare_reports(
             report, load_report(args.baseline), tolerance=args.tolerance
@@ -464,12 +653,71 @@ def cmd_paper(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# obs subcommand family — inspect the run ledger
+# ----------------------------------------------------------------------
+def cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Print the last N ledger records, one line each."""
+    from repro.obs.ledger import RunLedger, format_record_line
+
+    ledger = RunLedger(args.ledger)
+    records = ledger.tail(args.last)
+    if not records:
+        print(f"ledger {ledger.path} is empty "
+              "(run e.g. `repro bench --append-ledger`)")
+        return 0
+    for record in records:
+        print(format_record_line(record))
+    return 0
+
+
+def cmd_obs_summary(args: argparse.Namespace) -> int:
+    """Longitudinal summary of the ledger, grouped by command."""
+    from repro.obs.ledger import RunLedger, collect_counters, summarize_records
+
+    records = RunLedger(args.ledger).read()
+    print(summarize_records(records))
+    totals = collect_counters(records)
+    if totals:
+        print()
+        print("obs counter totals across runs:")
+        for name, value in sorted(totals.items()):
+            print(f"  {name:<44} {value}")
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Metric deltas between two ledger records; exit 1 on regression."""
+    from repro.obs.ledger import RunLedger, diff_records
+
+    ledger = RunLedger(args.ledger)
+    record_a = ledger.find(args.run_a)
+    record_b = ledger.find(args.run_b)
+    lines, regressions = diff_records(
+        record_a, record_b, tolerance=args.tolerance
+    )
+    print("\n".join(lines))
+    if regressions:
+        print(f"\nREGRESSION ({len(regressions)} metric(s) beyond "
+              f"{args.tolerance:.0%} tolerance):", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs.ledger import DEFAULT_LEDGER_PATH
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Iterative non-makespan minimisation (IPPS/HCW 2007) toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -482,6 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--consistency", type=_consistency,
                            default=Consistency.INCONSISTENT,
                            help="consistent | semi-consistent | inconsistent")
+
+    def add_ledger(p):
+        p.add_argument("--append-ledger", action="store_true",
+                       help="append a repro-ledger/1 record to the run ledger")
+        p.add_argument("--ledger", default=DEFAULT_LEDGER_PATH,
+                       help="run ledger path (default: %(default)s)")
 
     g = sub.add_parser("generate", help="generate a synthetic ETC matrix")
     g.add_argument("--tasks", type=int, required=True)
@@ -524,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma list: deterministic,random")
     s.add_argument("--seeded", action="store_true")
     add_common(s)
+    add_ledger(s)
     s.set_defaults(func=cmd_study)
 
     c = sub.add_parser("compare", help="cross-heuristic makespan comparison (E24)")
@@ -532,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--machines", type=int, default=8)
     c.add_argument("--instances", type=int, default=10)
     add_common(c)
+    add_ledger(c)
     c.set_defaults(func=cmd_compare)
 
     d = sub.add_parser("simulate", help="dynamic (arrival-driven) simulation")
@@ -544,6 +800,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "batch-sufferage")
     d.add_argument("--kpb-percent", type=float, default=50.0)
     d.add_argument("--batch-interval", type=float, default=1000.0)
+    d.add_argument("--progress", action="store_true",
+                   help="live event-count progress on stderr")
     add_common(d)
     d.set_defaults(func=cmd_simulate)
 
@@ -570,8 +828,11 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--seeded", action="store_true")
     e.add_argument("--workers", type=int, default=None,
                    help="process count for the parallel runner")
+    e.add_argument("--progress", action="store_true",
+                   help="live per-cell progress (with ETA) on stderr")
     e.add_argument("-o", "--output", required=True, help="CSV/JSON path")
     add_common(e)
+    add_ledger(e)
     e.set_defaults(func=cmd_export)
 
     t = sub.add_parser("trace", help="replay a run and print its decision trace")
@@ -590,6 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--quick", action="store_true", help="small ensembles")
     r.add_argument("-o", "--output", help="Markdown path (stdout if omitted)")
     add_common(r, etc_classes=False)
+    add_ledger(r)
     r.set_defaults(func=cmd_report)
 
     b = sub.add_parser("bench", help="time the tracked scheduling workloads")
@@ -606,7 +868,41 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--tolerance", type=float, default=0.5,
                    help="allowed fractional slowdown vs baseline (0.5 = 50%%)")
     b.add_argument("-o", "--output", help="write the report JSON here")
+    add_ledger(b)
     b.set_defaults(func=cmd_bench)
+
+    o = sub.add_parser("obs", help="inspect the run ledger")
+    osub = o.add_subparsers(dest="obs_command", required=True)
+
+    def add_obs_common(p):
+        p.add_argument("--ledger", default=DEFAULT_LEDGER_PATH,
+                       help="run ledger path (default: %(default)s)")
+
+    ot = osub.add_parser("tail", help="print the most recent ledger records")
+    ot.add_argument("-n", "--last", type=int, default=10,
+                    help="how many records (default: %(default)s)")
+    add_obs_common(ot)
+    ot.set_defaults(func=cmd_obs_tail)
+
+    os_ = osub.add_parser("summary",
+                          help="longitudinal metric summary per command")
+    add_obs_common(os_)
+    os_.set_defaults(func=cmd_obs_summary)
+
+    od = osub.add_parser(
+        "diff",
+        help="metric deltas between two runs (exit 1 on makespan-metric "
+             "regression beyond tolerance)",
+    )
+    od.add_argument("run_a", help="run_id prefix or negative index (-2 = "
+                                  "second newest)")
+    od.add_argument("run_b", help="run_id prefix or negative index (-1 = "
+                                  "newest)")
+    od.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative worsening before a metric counts "
+                         "as a regression (default: %(default)s)")
+    add_obs_common(od)
+    od.set_defaults(func=cmd_obs_diff)
 
     p = sub.add_parser("paper", help="replay the paper's worked examples")
     p.set_defaults(func=cmd_paper)

@@ -263,6 +263,8 @@ class IterativeScheduler:
                     machines_remaining=current_etc.num_machines - 1,
                 )
                 tracer.count("iterations")
+                tracer.observe("iterative.freeze_depth", len(records) - 1)
+                tracer.observe("iterative.frozen_tasks", len(frozen_tasks))
 
             last_allowed = (
                 max_iterations is not None and len(records) >= max_iterations

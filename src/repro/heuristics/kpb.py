@@ -133,6 +133,7 @@ class KPercentBest(Heuristic):
                     completion=assignment.completion,
                 )
                 tracer.count("decisions")
+                tracer.observe("kpb.subset_size", size)
             trace.append(
                 KPBStep(
                     task=task,
@@ -166,6 +167,7 @@ class KPercentBest(Heuristic):
                     completion=assignment.completion,
                 )
                 tracer.count("decisions")
+                tracer.observe("kpb.subset_size", size)
             trace.append(
                 KPBStep(
                     task=task,

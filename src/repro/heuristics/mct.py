@@ -77,6 +77,7 @@ class MCT(Heuristic):
                     tied=tuple(machines[int(j)] for j in candidates),
                 )
                 tracer.count("decisions")
+                tracer.observe("decision.tie_candidates", len(candidates))
 
     def _run_reference(self, mapping: Mapping, tie_breaker: TieBreaker) -> None:
         etc = mapping.etc
@@ -95,3 +96,4 @@ class MCT(Heuristic):
                     tied=tuple(etc.machines[int(j)] for j in candidates),
                 )
                 tracer.count("decisions")
+                tracer.observe("decision.tie_candidates", len(candidates))

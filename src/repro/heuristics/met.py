@@ -55,3 +55,4 @@ class MET(Heuristic):
                     tied=tuple(etc.machines[int(j)] for j in candidates),
                 )
                 tracer.count("decisions")
+                tracer.observe("decision.tie_candidates", len(candidates))

@@ -110,6 +110,7 @@ class _TwoPhaseGreedy(Heuristic):
                     tied=tuple(machines[int(j)] for j in candidates),
                 )
                 tracer.count("decisions")
+                tracer.observe("decision.tie_candidates", len(candidates))
             table.deactivate(task_idx)
             table.refresh_column(machine_idx, assignment.completion)
 
@@ -144,6 +145,7 @@ class _TwoPhaseGreedy(Heuristic):
                     tied=tuple(etc.machines[int(j)] for j in candidates),
                 )
                 tracer.count("decisions")
+                tracer.observe("decision.tie_candidates", len(candidates))
             unmapped.pop(task_pos)
 
 

@@ -1,4 +1,4 @@
-"""repro.obs — lightweight observability: tracing, counters, timers.
+"""repro.obs — lightweight observability: tracing, metrics, ledger.
 
 The subsystem turns the paper's prose-level decision narratives (which
 machine wins a Min-Min round, which way a tie breaks, which machine an
@@ -7,24 +7,58 @@ iteration freezes) into first-class, assertable data:
 * :class:`Tracer` / :class:`CollectingTracer` / :data:`NULL_TRACER` —
   structured span/event records with a no-op default, so instrumented
   hot paths cost one attribute check when tracing is disabled;
-* :class:`Counters` / :class:`Timers` — monotonic, aggregatable;
+* :class:`Counters` / :class:`Timers` / :class:`Histograms` /
+  :class:`Gauges` — monotonic / aggregatable / merge-deterministic;
 * :class:`ObsSnapshot` + JSONL export — picklable state that the
-  parallel experiment runner merges deterministically across workers;
+  parallel experiment runner merges deterministically across workers
+  (and :func:`records_to_snapshot` reads back);
+* :class:`RunLedger` — the durable, append-only ``repro-ledger/1``
+  record of every bench/study/compare/export/report invocation
+  (``repro obs tail / summary / diff`` inspect it);
+* :class:`ProgressReporter` — live stderr progress for long sweeps,
+  rendered outside the event stream so traces stay byte-identical;
 * ``python -m repro trace`` — replays a witness example and prints its
   decision trace.
 
-See docs/observability.md for the event catalogue and JSONL schema.
+See docs/observability.md for the event catalogue and both JSONL
+schemas (trace export and run ledger).
 """
 
 from repro.obs.export import (
     event_to_dict,
     format_event,
     read_jsonl,
+    records_to_snapshot,
     render_events,
     snapshot_to_jsonl,
     write_jsonl,
 )
-from repro.obs.metrics import Counters, TimerStat, Timers
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_PATH,
+    LEDGER_SCHEMA,
+    RunLedger,
+    build_record,
+    config_hash,
+    diff_records,
+    headline_metrics,
+    summarize_records,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    TIME_BUCKETS,
+    Counters,
+    Gauges,
+    HistogramStat,
+    Histograms,
+    TimerStat,
+    Timers,
+)
+from repro.obs.progress import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressReporter,
+    make_progress,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     CollectingTracer,
@@ -50,10 +84,28 @@ __all__ = [
     "Counters",
     "Timers",
     "TimerStat",
+    "Histograms",
+    "HistogramStat",
+    "Gauges",
+    "DEFAULT_BUCKETS",
+    "TIME_BUCKETS",
     "event_to_dict",
     "snapshot_to_jsonl",
     "write_jsonl",
     "read_jsonl",
+    "records_to_snapshot",
     "format_event",
     "render_events",
+    "LEDGER_SCHEMA",
+    "DEFAULT_LEDGER_PATH",
+    "RunLedger",
+    "build_record",
+    "config_hash",
+    "diff_records",
+    "headline_metrics",
+    "summarize_records",
+    "ProgressReporter",
+    "NullProgress",
+    "NULL_PROGRESS",
+    "make_progress",
 ]

@@ -4,14 +4,20 @@ JSONL schema (one JSON object per line, stable key order):
 
 * ``{"type": "event", "seq": int, "kind": str, "fields": {...}}``
 * ``{"type": "counter", "name": str, "value": int}``
+* ``{"type": "gauge", "name": str, "value": float}``
+* ``{"type": "histogram", "name": str, "buckets": [...], "counts":
+  [...], "count": int, "sum": float, "min": float, "max": float}``
 * ``{"type": "timer", "name": str, "count": int, "total": float,
   "min": float, "max": float}``
 
-Events come first (in sequence order), then counters and timers in
-sorted-name order, so exporting the same snapshot twice yields
-byte-identical files.  Field values must be JSON-encodable; the
-instrumentation emits only strings, numbers, booleans, ``None`` and
-lists/tuples of those (tuples serialise as JSON arrays).
+Events come first (in sequence order), then counters, gauges,
+histograms and timers, each section in sorted-name order, so exporting
+the same snapshot twice yields byte-identical files.  Field values must
+be JSON-encodable; the instrumentation emits only strings, numbers,
+booleans, ``None`` and lists/tuples of those (tuples serialise as JSON
+arrays).  :func:`records_to_snapshot` inverts the export: events,
+counters, gauges, histograms and timers all round-trip exactly
+(property-tested in ``tests/properties/test_obs_properties.py``).
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import math
 from collections.abc import Iterable
 from pathlib import Path
 
+from repro.obs.metrics import HistogramStat, TimerStat
 from repro.obs.tracer import CollectingTracer, ObsSnapshot, TraceEvent
 
 __all__ = [
@@ -28,6 +35,7 @@ __all__ = [
     "snapshot_to_jsonl",
     "write_jsonl",
     "read_jsonl",
+    "records_to_snapshot",
     "format_event",
     "render_events",
 ]
@@ -66,6 +74,28 @@ def snapshot_to_jsonl(snapshot: ObsSnapshot | CollectingTracer) -> str:
                 {"type": "counter", "name": name, "value": value}, sort_keys=True
             )
         )
+    for name, value in snapshot.gauges.items():
+        lines.append(
+            json.dumps(
+                {"type": "gauge", "name": name, "value": value}, sort_keys=True
+            )
+        )
+    for name, stat in snapshot.histograms.items():
+        lines.append(
+            json.dumps(
+                {
+                    "type": "histogram",
+                    "name": name,
+                    "buckets": list(stat.buckets),
+                    "counts": list(stat.counts),
+                    "count": stat.count,
+                    "sum": stat.sum,
+                    "min": stat.min,
+                    "max": stat.max,
+                },
+                sort_keys=True,
+            )
+        )
     for name, stat in snapshot.timers.items():
         lines.append(
             json.dumps(
@@ -98,6 +128,56 @@ def read_jsonl(path: str | Path) -> list[dict]:
         if line:
             records.append(json.loads(line))
     return records
+
+
+def records_to_snapshot(records: Iterable[dict]) -> ObsSnapshot:
+    """Rebuild an :class:`ObsSnapshot` from parsed JSONL records.
+
+    The inverse of :func:`snapshot_to_jsonl` (modulo JSON's tuple/list
+    conflation: event fields that were tuples come back as lists, which
+    matches how :func:`event_to_dict` compares streams).
+    """
+    events: list[TraceEvent] = []
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, HistogramStat] = {}
+    timers: dict[str, TimerStat] = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "event":
+            events.append(
+                TraceEvent(record["seq"], record["kind"], dict(record["fields"]))
+            )
+        elif kind == "counter":
+            counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            gauges[record["name"]] = record["value"]
+        elif kind == "histogram":
+            histograms[record["name"]] = HistogramStat(
+                buckets=tuple(record["buckets"]),
+                counts=tuple(record["counts"]),
+                count=record["count"],
+                sum=record["sum"],
+                min=record["min"],
+                max=record["max"],
+            )
+        elif kind == "timer":
+            timers[record["name"]] = TimerStat(
+                count=record["count"],
+                total=record["total"],
+                min=record["min"],
+                max=record["max"],
+            )
+        else:
+            raise ValueError(f"unknown obs JSONL record type {kind!r}")
+    events.sort(key=lambda e: e.seq)
+    return ObsSnapshot(
+        events=tuple(events),
+        counters=counters,
+        timers=timers,
+        histograms=histograms,
+        gauges=gauges,
+    )
 
 
 def format_event(event: TraceEvent) -> str:

@@ -14,12 +14,40 @@ pipeline's two constraints:
 
 from __future__ import annotations
 
+import bisect
 import time
 from collections.abc import Iterator, Mapping as MappingABC
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-__all__ = ["Counters", "TimerStat", "Timers"]
+__all__ = [
+    "Counters",
+    "TimerStat",
+    "Timers",
+    "HistogramStat",
+    "Histograms",
+    "Gauges",
+    "DEFAULT_BUCKETS",
+    "TIME_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds, tuned for small integer
+#: distributions (tie-candidate counts, freeze depths, subset sizes).
+#: Values land in the first bucket whose bound is >= the value; one
+#: implicit overflow bucket catches everything beyond the last bound.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128,
+)
+
+#: Bucket bounds for wall-clock durations in seconds (10us .. 100s,
+#: roughly half-decade steps).  By convention histogram *names* carrying
+#: wall-clock values end in ``_s``; deterministic-merge assertions treat
+#: them structurally (total counts) rather than byte-identically, since
+#: timings differ across runs.
+TIME_BUCKETS: tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
 
 
 class Counters:
@@ -153,3 +181,186 @@ class Timers:
 
     def __repr__(self) -> str:
         return f"Timers({self.as_dict()!r})"
+
+
+@dataclass(frozen=True)
+class HistogramStat:
+    """Fixed-bucket histogram of one named distribution.
+
+    ``buckets`` are sorted upper bounds; ``counts`` has one entry per
+    bucket plus a trailing overflow bucket (``len(buckets) + 1``).  A
+    value lands in the first bucket whose bound is ``>= value``.
+    Merging requires identical bucket bounds, which keeps worker-merge
+    results independent of how observations were partitioned — the same
+    commutative-sum argument as :class:`Counters`.
+    """
+
+    buckets: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    @classmethod
+    def empty(cls, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> "HistogramStat":
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        return cls(buckets=bounds, counts=(0,) * (len(bounds) + 1))
+
+    def _bucket_index(self, value: float) -> int:
+        return bisect.bisect_left(self.buckets, value)
+
+    def observe(self, value: float) -> "HistogramStat":
+        """Stat with one more observation folded in."""
+        idx = self._bucket_index(value)
+        counts = list(self.counts)
+        counts[idx] += 1
+        return HistogramStat(
+            buckets=self.buckets,
+            counts=tuple(counts),
+            count=self.count + 1,
+            sum=self.sum + value,
+            min=value if value < self.min else self.min,
+            max=value if value > self.max else self.max,
+        )
+
+    def combine(self, other: "HistogramStat") -> "HistogramStat":
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        return HistogramStat(
+            buckets=self.buckets,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            count=self.count + other.count,
+            sum=self.sum + other.sum,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Histograms:
+    """Named fixed-bucket histograms (merge-deterministic)."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self) -> None:
+        self._stats: dict[str, HistogramStat] = {}
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        """Fold one value into ``name``.
+
+        Bucket bounds are fixed by the *first* observation of a name
+        (``DEFAULT_BUCKETS`` unless given); later ``buckets`` arguments
+        for the same name are ignored, so concurrent instrumentation
+        sites cannot disagree about a histogram's shape mid-run.
+        """
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = HistogramStat.empty(buckets if buckets is not None else DEFAULT_BUCKETS)
+        self._stats[name] = stat.observe(value)
+
+    def get(self, name: str) -> HistogramStat | None:
+        return self._stats.get(name)
+
+    def merge(self, other: "Histograms | MappingABC[str, HistogramStat]") -> None:
+        items = other._stats if isinstance(other, Histograms) else other
+        for name, stat in items.items():
+            mine = self._stats.get(name)
+            self._stats[name] = stat if mine is None else mine.combine(stat)
+
+    def as_dict(self) -> dict[str, HistogramStat]:
+        return {name: self._stats[name] for name in sorted(self._stats)}
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._stats))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Histograms):
+            return self._stats == other._stats
+        if isinstance(other, MappingABC):
+            return self._stats == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Histograms({self.as_dict()!r})"
+
+
+class Gauges:
+    """Named last-value gauges.
+
+    A gauge records the most recent value of something that can go up
+    *or* down (queue depth, cells remaining, current makespan).  Merge
+    semantics are last-writer-wins in merge order; because the parallel
+    runner merges snapshots in deterministic cell order, merged gauge
+    values equal the serial run's (the final cell's write wins in both).
+    """
+
+    __slots__ = ("_values", "_updates")
+
+    def __init__(self, values: MappingABC[str, float] | None = None) -> None:
+        self._values: dict[str, float] = {}
+        self._updates: dict[str, int] = {}
+        if values is not None:
+            for name, value in values.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: float) -> None:
+        """Record the current value of ``name``."""
+        self._values[name] = float(value)
+        self._updates[name] = self._updates.get(name, 0) + 1
+
+    def get(self, name: str, default: float | None = None) -> float | None:
+        return self._values.get(name, default)
+
+    def updates(self, name: str) -> int:
+        """How many times ``name`` has been set (0 if never)."""
+        return self._updates.get(name, 0)
+
+    def merge(self, other: "Gauges | MappingABC[str, float]") -> None:
+        """Fold another gauge set in: its values overwrite ours."""
+        if isinstance(other, Gauges):
+            for name, value in other._values.items():
+                self._values[name] = value
+                self._updates[name] = (
+                    self._updates.get(name, 0) + other._updates.get(name, 1)
+                )
+        else:
+            for name, value in other.items():
+                self.set(name, value)
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: self._values[name] for name in sorted(self._values)}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Gauges):
+            return self._values == other._values
+        if isinstance(other, MappingABC):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Gauges({self.as_dict()!r})"

@@ -1,0 +1,181 @@
+"""Live progress reporting for long sweeps and simulations.
+
+Long experiment grids and benches run silently today; this module adds
+a small, dependency-free reporter that renders *outside* the event
+stream — it writes only to a stream (stderr by default) and never
+touches the tracer, so enabling progress cannot perturb a trace or a
+merged snapshot (the byte-identity property the obs suite asserts).
+
+Renders in-place (``\\r``) on TTYs and one line per update otherwise,
+so redirected logs stay readable.  ``total=None`` degrades to a plain
+item counter without percentage/ETA.
+
+Usage::
+
+    progress = ProgressReporter(total=len(cells), label="cells")
+    progress.start()
+    for cell in cells:
+        ...
+        progress.advance(cell_label)
+    progress.finish()
+
+:data:`NULL_PROGRESS` is the disabled no-op twin (same interface), so
+call sites can take ``progress: ProgressReporter | None`` and normalise
+with :func:`make_progress` instead of branching everywhere.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressReporter", "NullProgress", "NULL_PROGRESS", "make_progress"]
+
+
+def _fmt_duration(seconds: float) -> str:
+    """Compact ``M:SS`` / ``H:MM:SS`` rendering of a duration."""
+    seconds = max(0, int(seconds))
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Streaming ``[done/total] pct eta label`` reporter.
+
+    ``min_interval_s`` throttles re-renders (0 disables throttling;
+    the final update of :meth:`finish` always renders).  The clock is
+    injectable for tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        total: int | None = None,
+        *,
+        label: str = "",
+        stream=None,
+        min_interval_s: float = 0.0,
+        clock=time.perf_counter,
+    ) -> None:
+        if total is not None and total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.total = total
+        self.label = label
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval_s = min_interval_s
+        self._clock = clock
+        self._started_at: float | None = None
+        self._last_render_at: float | None = None
+        self.done = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ProgressReporter":
+        """Reset the clock and render the initial 0-progress line."""
+        self._started_at = self._clock()
+        self.done = 0
+        self._last_render_at = None
+        self._render(current="", force=True)
+        return self
+
+    def advance(self, current: str = "", n: int = 1) -> None:
+        """Mark ``n`` more items done; ``current`` names the latest."""
+        if self._started_at is None:
+            self.start()
+        self.done += n
+        self._render(current=current)
+
+    def finish(self) -> None:
+        """Render the final state and terminate the in-place line."""
+        if self._started_at is None:
+            return
+        self._render(current="done", force=True)
+        if self._isatty():
+            self._stream.write("\n")
+            self._stream.flush()
+
+    # ------------------------------------------------------------------
+    def _isatty(self) -> bool:
+        isatty = getattr(self._stream, "isatty", None)
+        try:
+            return bool(isatty()) if isatty is not None else False
+        except (ValueError, OSError):
+            return False
+
+    def _line(self, current: str) -> str:
+        started = self._started_at if self._started_at is not None else self._clock()
+        elapsed = self._clock() - started
+        parts = []
+        if self.total:
+            width = len(str(self.total))
+            parts.append(f"[{self.done:>{width}}/{self.total}]")
+            parts.append(f"{100 * self.done / self.total:5.1f}%")
+        else:
+            parts.append(f"[{self.done}]")
+        parts.append(f"elapsed {_fmt_duration(elapsed)}")
+        if self.total and 0 < self.done < self.total:
+            eta = elapsed / self.done * (self.total - self.done)
+            parts.append(f"eta {_fmt_duration(eta)}")
+        if self.label:
+            parts.append(self.label)
+        if current:
+            parts.append(current)
+        return " ".join(parts)
+
+    def _render(self, current: str, force: bool = False) -> None:
+        now = self._clock()
+        if (
+            not force
+            and self._min_interval_s > 0
+            and self._last_render_at is not None
+            and now - self._last_render_at < self._min_interval_s
+        ):
+            return
+        self._last_render_at = now
+        line = self._line(current)
+        if self._isatty():
+            # Pad to clear leftovers of a longer previous line.
+            self._stream.write("\r" + line.ljust(79))
+        else:
+            self._stream.write(line + "\n")
+        self._stream.flush()
+
+
+class NullProgress:
+    """Disabled reporter: same surface as :class:`ProgressReporter`."""
+
+    enabled = False
+    total = None
+    done = 0
+
+    def start(self) -> "NullProgress":
+        return self
+
+    def advance(self, current: str = "", n: int = 1) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullProgress()"
+
+
+#: Shared disabled reporter (stateless, safe to reuse everywhere).
+NULL_PROGRESS = NullProgress()
+
+
+def make_progress(
+    enabled: bool,
+    total: int | None = None,
+    *,
+    label: str = "",
+    stream=None,
+) -> "ProgressReporter | NullProgress":
+    """A live reporter when ``enabled``, else :data:`NULL_PROGRESS`."""
+    if not enabled:
+        return NULL_PROGRESS
+    return ProgressReporter(total, label=label, stream=stream)

@@ -37,7 +37,14 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.obs.metrics import Counters, TimerStat, Timers
+from repro.obs.metrics import (
+    Counters,
+    Gauges,
+    HistogramStat,
+    Histograms,
+    TimerStat,
+    Timers,
+)
 
 __all__ = [
     "TraceEvent",
@@ -80,6 +87,14 @@ class Tracer:
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a named counter (no-op when disabled)."""
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] | None = None
+    ) -> None:
+        """Fold one value into a named histogram (no-op when disabled)."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the current value of a named gauge (no-op when disabled)."""
 
     def span(self, kind: str, **fields):
         """Context manager timing its block under ``kind``; on exit the
@@ -128,6 +143,8 @@ class ObsSnapshot:
     events: tuple[TraceEvent, ...]
     counters: dict[str, int]
     timers: dict[str, TimerStat]
+    histograms: dict[str, HistogramStat] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
 
 
 class _Span:
@@ -159,6 +176,8 @@ class CollectingTracer(Tracer):
         self._events: list[TraceEvent] = []
         self.counters = Counters()
         self.timers = Timers()
+        self.histograms = Histograms()
+        self.gauges = Gauges()
 
     @property
     def events(self) -> tuple[TraceEvent, ...]:
@@ -175,6 +194,14 @@ class CollectingTracer(Tracer):
     def count(self, name: str, n: int = 1) -> None:
         self.counters.inc(name, n)
 
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] | None = None
+    ) -> None:
+        self.histograms.observe(name, value, buckets=buckets)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges.set(name, value)
+
     def span(self, kind: str, **fields):
         return _Span(self, kind, fields)
 
@@ -183,6 +210,8 @@ class CollectingTracer(Tracer):
             events=tuple(self._events),
             counters=self.counters.as_dict(),
             timers=self.timers.as_dict(),
+            histograms=self.histograms.as_dict(),
+            gauges=self.gauges.as_dict(),
         )
 
     def merge_snapshot(self, snapshot: ObsSnapshot) -> None:
@@ -194,11 +223,15 @@ class CollectingTracer(Tracer):
             )
         self.counters.merge(snapshot.counters)
         self.timers.merge(snapshot.timers)
+        self.histograms.merge(snapshot.histograms)
+        self.gauges.merge(snapshot.gauges)
 
     def clear(self) -> None:
         self._events.clear()
         self.counters = Counters()
         self.timers = Timers()
+        self.histograms = Histograms()
+        self.gauges = Gauges()
 
     def __len__(self) -> int:
         return len(self._events)

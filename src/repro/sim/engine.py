@@ -68,41 +68,65 @@ class Simulator:
             Event(time=time, kind=kind, payload=payload, priority=priority)
         )
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        progress=None,
+        progress_every: int = 1000,
+    ) -> float:
         """Dispatch events in order; returns the final simulation time.
 
         Stops when the queue empties, when the next event lies beyond
         ``until`` (clock advances to ``until``), or after ``max_events``
         dispatches (a runaway-model guard).
+
+        ``progress`` is an optional
+        :class:`~repro.obs.progress.ProgressReporter` advanced every
+        ``progress_every`` dispatches with the current simulation time.
+        It writes only to its own stream — never to the tracer — so
+        enabling it cannot perturb the ``sim.dispatch`` event stream.
         """
+        if progress_every < 1:
+            raise SimulationError(
+                f"progress_every must be >= 1, got {progress_every}"
+            )
         tracer = get_tracer()
-        while self._queue:
-            next_time = self._queue.peek_time()
-            assert next_time is not None
-            if until is not None and next_time > until:
-                self._now = until
-                return self._now
-            if max_events is not None and self._processed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway event loop?"
-                )
-            event = self._queue.pop()
-            self._now = event.time
-            self._processed += 1
-            handlers = self._handlers.get(event.kind)
-            if not handlers:
-                raise SimulationError(f"no handler registered for event {event.kind!r}")
-            if tracer.enabled:
-                tracer.event(
-                    "sim.dispatch",
-                    kind=event.kind,
-                    time=event.time,
-                    handlers=len(handlers),
-                )
-                tracer.count("sim.events")
-                tracer.count(f"sim.events.{event.kind}")
-            for handler in handlers:
-                handler(event)
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if until is not None and next_time > until:
+                    self._now = until
+                    return self._now
+                if max_events is not None and self._processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+                event = self._queue.pop()
+                self._now = event.time
+                self._processed += 1
+                handlers = self._handlers.get(event.kind)
+                if not handlers:
+                    raise SimulationError(
+                        f"no handler registered for event {event.kind!r}"
+                    )
+                if tracer.enabled:
+                    tracer.event(
+                        "sim.dispatch",
+                        kind=event.kind,
+                        time=event.time,
+                        handlers=len(handlers),
+                    )
+                    tracer.count("sim.events")
+                    tracer.count(f"sim.events.{event.kind}")
+                for handler in handlers:
+                    handler(event)
+                if progress is not None and self._processed % progress_every == 0:
+                    progress.advance(f"t={self._now:g}", n=progress_every)
+        finally:
+            if progress is not None:
+                progress.finish()
         if until is not None and until > self._now:
             self._now = until
         return self._now

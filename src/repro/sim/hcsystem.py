@@ -289,7 +289,9 @@ class DynamicHCSimulation:
         self.tie_breaker = tie_breaker or DeterministicTieBreaker()
 
     # ------------------------------------------------------------------
-    def run(self) -> ExecutionTrace:
+    def run(self, progress=None, progress_every: int = 1000) -> ExecutionTrace:
+        """Execute the workload; ``progress`` is forwarded to the engine
+        (see :meth:`repro.sim.engine.Simulator.run`)."""
         etc = self.workload.etc
         sim = Simulator()
         trace = ExecutionTrace(etc.machines)
@@ -375,7 +377,11 @@ class DynamicHCSimulation:
         sim.on("batch-event", on_batch_event)
         for task in etc.tasks:
             sim.schedule_at(self.workload.arrival_of(task), "task-arrival", task)
-        sim.run(max_events=20 * etc.num_tasks + 10_000)
+        sim.run(
+            max_events=20 * etc.num_tasks + 10_000,
+            progress=progress,
+            progress_every=progress_every,
+        )
         # Flush any stragglers left pending if the last tick fired early.
         while len(trace) < etc.num_tasks:
             run_batch()

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.analysis.gantt import render_gantt
 from repro.analysis.invariance import verify_invariance

@@ -11,7 +11,7 @@ from repro.analysis.invariance import (
 from repro.core.iterative import IterativeScheduler
 from repro.core.ties import RandomTieBreaker
 from repro.etc.generation import Consistency, Heterogeneity, generate_ensemble
-from repro.heuristics import MCT, Sufferage, get_heuristic
+from repro.heuristics import MCT, Sufferage
 
 
 class TestSingleResultCheckers:

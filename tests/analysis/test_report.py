@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.report import (
-    ExampleOutcome,
     build_report,
     paper_example_outcomes,
 )

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.iterative (the paper's technique)."""
 
-import numpy as np
 import pytest
 
 from repro.core.iterative import IterativeScheduler

@@ -10,7 +10,6 @@ from repro.etc.matrix import ETCMatrix
 from repro.etc.witness import (
     KPB_EXAMPLE_PERCENT,
     kpb_example_etc,
-    sufferage_example_etc,
     swa_example_etc,
 )
 from repro.heuristics import (

@@ -1,6 +1,5 @@
 """Unit tests for the initial-ready-time generators."""
 
-import numpy as np
 import pytest
 
 from repro.core.schedule import ready_time_vector

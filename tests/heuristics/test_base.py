@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.schedule import Mapping
 from repro.core.ties import TieBreaker
-from repro.etc.matrix import ETCMatrix
 from repro.exceptions import MappingError, UnknownHeuristicError
 from repro.heuristics import PAPER_HEURISTICS, get_heuristic, heuristic_names
 from repro.heuristics.base import Heuristic

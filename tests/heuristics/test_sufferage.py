@@ -1,7 +1,6 @@
 """Unit tests for the Sufferage heuristic."""
 
 import numpy as np
-import pytest
 
 from repro.core.ties import TieBreaker
 from repro.etc.generation import generate_range_based

@@ -7,7 +7,7 @@ import pytest
 from repro.etc.generation import generate_range_based
 from repro.etc.matrix import ETCMatrix
 from repro.exceptions import ConfigurationError
-from repro.heuristics import MCT, MET, SwitchingAlgorithm, balance_index
+from repro.heuristics import MCT, SwitchingAlgorithm, balance_index
 
 
 class TestBalanceIndex:

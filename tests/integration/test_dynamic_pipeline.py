@@ -1,6 +1,5 @@
 """Integration: dynamic simulation composed with the analysis stack."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.gantt import render_gantt

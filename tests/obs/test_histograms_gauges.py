@@ -1,0 +1,236 @@
+"""Unit tests for the histogram and gauge metric types (PR 3)."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    TIME_BUCKETS,
+    CollectingTracer,
+    Gauges,
+    HistogramStat,
+    Histograms,
+    NullTracer,
+    read_jsonl,
+    records_to_snapshot,
+    snapshot_to_jsonl,
+    write_jsonl,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestHistogramStat:
+    def test_empty_shape(self):
+        stat = HistogramStat.empty((1.0, 2.0, 4.0))
+        assert stat.buckets == (1.0, 2.0, 4.0)
+        assert stat.counts == (0, 0, 0, 0)  # 3 bounds + overflow
+        assert stat.count == 0
+        assert stat.mean == 0.0
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            HistogramStat.empty(())
+
+    def test_rejects_non_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            HistogramStat.empty((1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            HistogramStat.empty((2.0, 1.0))
+
+    def test_observe_buckets_first_bound_geq_value(self):
+        stat = HistogramStat.empty((1.0, 2.0, 4.0))
+        stat = stat.observe(1.0)   # ties land in the bucket they bound
+        stat = stat.observe(1.5)
+        stat = stat.observe(4.0)
+        stat = stat.observe(99.0)  # overflow
+        assert stat.counts == (1, 1, 1, 1)
+        assert stat.count == 4
+        assert stat.sum == pytest.approx(105.5)
+        assert stat.min == 1.0
+        assert stat.max == 99.0
+        assert stat.mean == pytest.approx(105.5 / 4)
+
+    def test_combine_sums_counts(self):
+        a = HistogramStat.empty((1.0, 2.0)).observe(0.5).observe(3.0)
+        b = HistogramStat.empty((1.0, 2.0)).observe(1.5)
+        c = a.combine(b)
+        assert c.counts == (1, 1, 1)
+        assert c.count == 3
+        assert c.min == 0.5
+        assert c.max == 3.0
+
+    def test_combine_rejects_bucket_mismatch(self):
+        a = HistogramStat.empty((1.0, 2.0))
+        b = HistogramStat.empty((1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.combine(b)
+
+    def test_default_bucket_constants_are_valid(self):
+        HistogramStat.empty(DEFAULT_BUCKETS)
+        HistogramStat.empty(TIME_BUCKETS)
+
+
+class TestHistograms:
+    def test_observe_and_get(self):
+        h = Histograms()
+        h.observe("depth", 2)
+        h.observe("depth", 3)
+        stat = h.get("depth")
+        assert stat.count == 2
+        assert stat.buckets == tuple(float(b) for b in DEFAULT_BUCKETS)
+        assert h.get("missing") is None
+
+    def test_buckets_fixed_by_first_observation(self):
+        h = Histograms()
+        h.observe("x", 0.5, buckets=(1.0, 2.0))
+        h.observe("x", 1.5, buckets=(10.0, 20.0))  # ignored
+        assert h.get("x").buckets == (1.0, 2.0)
+        assert h.get("x").counts == (1, 1, 0)
+
+    def test_merge_combines_and_adopts(self):
+        a, b = Histograms(), Histograms()
+        a.observe("shared", 1, buckets=(1.0, 2.0))
+        b.observe("shared", 2, buckets=(1.0, 2.0))
+        b.observe("only_b", 5)
+        a.merge(b)
+        assert a.get("shared").count == 2
+        assert a.get("only_b").count == 1
+
+    def test_merge_accepts_plain_mapping(self):
+        a = Histograms()
+        a.observe("x", 1, buckets=(1.0, 2.0))
+        a.merge({"x": HistogramStat.empty((1.0, 2.0)).observe(2)})
+        assert a.get("x").counts == (1, 1, 0)
+
+    def test_as_dict_sorted_and_eq(self):
+        h = Histograms()
+        h.observe("zz", 1)
+        h.observe("aa", 1)
+        assert list(h.as_dict()) == ["aa", "zz"]
+        assert list(h) == ["aa", "zz"]
+        other = Histograms()
+        other.observe("aa", 1)
+        other.observe("zz", 1)
+        assert h == other
+        assert h == other.as_dict()
+
+
+class TestGauges:
+    def test_set_get_updates(self):
+        g = Gauges()
+        g.set("queue", 3)
+        g.set("queue", 1)
+        assert g.get("queue") == 1.0
+        assert g.updates("queue") == 2
+        assert g.get("missing") is None
+        assert g.get("missing", -1.0) == -1.0
+        assert g.updates("missing") == 0
+
+    def test_merge_last_writer_wins(self):
+        a = Gauges({"x": 1.0, "only_a": 9.0})
+        b = Gauges({"x": 2.0})
+        a.merge(b)
+        assert a.get("x") == 2.0
+        assert a.get("only_a") == 9.0
+        assert a.updates("x") == 2  # one local set + one merged set
+
+    def test_merge_plain_mapping(self):
+        a = Gauges()
+        a.merge({"x": 4.0})
+        assert a.get("x") == 4.0
+
+    def test_as_dict_sorted_and_eq(self):
+        g = Gauges({"b": 2.0, "a": 1.0})
+        assert list(g.as_dict()) == ["a", "b"]
+        assert g == Gauges({"a": 1.0, "b": 2.0})
+        assert g == {"a": 1.0, "b": 2.0}
+        assert len(g) == 2
+
+
+class TestTracerIntegration:
+    def test_null_tracer_observe_gauge_inert(self):
+        t = NullTracer()
+        t.observe("x", 1)
+        t.gauge("y", 2.0)  # no-ops, no state anywhere
+
+    def test_collecting_tracer_records_both(self):
+        t = CollectingTracer()
+        t.observe("depth", 3)
+        t.gauge("makespan", 17.5)
+        assert t.histograms.get("depth").count == 1
+        assert t.gauges.get("makespan") == 17.5
+
+    def test_snapshot_carries_and_merges(self):
+        a, b = CollectingTracer(), CollectingTracer()
+        a.observe("depth", 1)
+        a.gauge("g", 1.0)
+        b.observe("depth", 2)
+        b.gauge("g", 2.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.histograms.get("depth").count == 2
+        assert a.gauges.get("g") == 2.0  # b merged after a's own write
+
+    def test_snapshot_is_picklable(self):
+        t = CollectingTracer()
+        t.observe("depth", 2)
+        t.gauge("g", 3.0)
+        snap = pickle.loads(pickle.dumps(t.snapshot()))
+        assert snap.histograms["depth"].count == 1
+        assert snap.gauges["g"] == 3.0
+
+    def test_clear_resets(self):
+        t = CollectingTracer()
+        t.observe("depth", 1)
+        t.gauge("g", 1.0)
+        t.clear()
+        assert len(t.histograms) == 0
+        assert len(t.gauges) == 0
+
+
+class TestExportRoundTrip:
+    def _tracer(self):
+        t = CollectingTracer()
+        t.event("a.decision", task="t1")
+        t.count("decisions")
+        t.observe("depth", 2, buckets=(1.0, 2.0, 4.0))
+        t.observe("depth", 9, buckets=(1.0, 2.0, 4.0))
+        t.gauge("makespan", 12.25)
+        with t.span("phase"):
+            pass
+        return t
+
+    def test_jsonl_contains_new_record_types(self, tmp_path):
+        t = self._tracer()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(t, path)
+        records = read_jsonl(path)
+        gauges = [r for r in records if r["type"] == "gauge"]
+        histograms = [r for r in records if r["type"] == "histogram"]
+        assert gauges == [{"type": "gauge", "name": "makespan", "value": 12.25}]
+        (h,) = histograms
+        assert h["name"] == "depth"
+        assert h["buckets"] == [1.0, 2.0, 4.0]
+        assert h["counts"] == [0, 1, 0, 1]
+        assert h["count"] == 2
+
+    def test_records_to_snapshot_inverts_export(self, tmp_path):
+        t = self._tracer()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(t, path)
+        snap = records_to_snapshot(read_jsonl(path))
+        original = t.snapshot()
+        assert snap.counters == original.counters
+        assert snap.gauges == original.gauges
+        assert snap.histograms == original.histograms
+        assert snap.timers == original.timers
+        assert [e.kind for e in snap.events] == [e.kind for e in original.events]
+
+    def test_records_to_snapshot_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            records_to_snapshot([{"type": "mystery"}])
+
+    def test_export_deterministic_with_new_types(self):
+        t = self._tracer()
+        assert snapshot_to_jsonl(t) == snapshot_to_jsonl(t.snapshot())

@@ -1,0 +1,114 @@
+"""Unit tests for the live progress reporter."""
+
+import io
+
+import pytest
+
+from repro.obs import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressReporter,
+    make_progress,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressReporter:
+    def _reporter(self, total=4, **kw):
+        stream = io.StringIO()  # isatty() is False -> one line per update
+        clock = FakeClock()
+        return ProgressReporter(
+            total, stream=stream, clock=clock, **kw
+        ), stream, clock
+
+    def test_non_tty_writes_one_line_per_update(self):
+        progress, stream, clock = self._reporter(total=2, label="cells")
+        progress.start()
+        clock.now = 10.0
+        progress.advance("hihi")
+        clock.now = 20.0
+        progress.advance("lolo")
+        progress.finish()
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "[0/2]   0.0% elapsed 0:00 cells"
+        assert lines[1] == "[1/2]  50.0% elapsed 0:10 eta 0:10 cells hihi"
+        assert lines[2] == "[2/2] 100.0% elapsed 0:20 cells lolo"
+        assert lines[3] == "[2/2] 100.0% elapsed 0:20 cells done"
+        assert "\r" not in stream.getvalue()
+
+    def test_eta_is_linear_extrapolation(self):
+        progress, stream, clock = self._reporter(total=4)
+        progress.start()
+        clock.now = 30.0
+        progress.advance()
+        assert "eta 1:30" in stream.getvalue().splitlines()[-1]
+
+    def test_unknown_total_is_plain_counter(self):
+        progress, stream, clock = self._reporter(total=None)
+        progress.start()
+        progress.advance("x")
+        last = stream.getvalue().splitlines()[-1]
+        assert last.startswith("[1] elapsed")
+        assert "%" not in last and "eta" not in last
+
+    def test_advance_before_start_autostarts(self):
+        progress, stream, _ = self._reporter(total=3)
+        progress.advance()
+        assert progress.done == 1
+        assert stream.getvalue()
+
+    def test_finish_without_start_is_silent(self):
+        progress, stream, _ = self._reporter()
+        progress.finish()
+        assert stream.getvalue() == ""
+
+    def test_min_interval_throttles_but_finish_renders(self):
+        progress, stream, clock = self._reporter(
+            total=3, min_interval_s=100.0
+        )
+        progress.start()
+        clock.now = 1.0
+        progress.advance()  # throttled
+        clock.now = 2.0
+        progress.advance()  # throttled
+        progress.finish()   # forced
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("[2/3]")
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(-1)
+
+    def test_hours_rendering(self):
+        progress, stream, clock = self._reporter(total=2)
+        progress.start()
+        clock.now = 3725.0
+        progress.advance()
+        assert "elapsed 1:02:05" in stream.getvalue().splitlines()[-1]
+
+
+class TestNullProgress:
+    def test_inert_and_disabled(self):
+        assert NULL_PROGRESS.enabled is False
+        assert NULL_PROGRESS.start() is NULL_PROGRESS
+        NULL_PROGRESS.advance("anything")
+        NULL_PROGRESS.finish()
+        assert NULL_PROGRESS.done == 0
+
+    def test_make_progress_dispatch(self):
+        assert make_progress(False, 10) is NULL_PROGRESS
+        live = make_progress(True, 10, label="cells", stream=io.StringIO())
+        assert isinstance(live, ProgressReporter)
+        assert live.enabled is True
+        assert live.total == 10
+        assert isinstance(NULL_PROGRESS, NullProgress)

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.etc.generation import (
     Consistency,
-    CVBParams,
     Heterogeneity,
     RangeBasedParams,
     apply_consistency,
@@ -14,7 +13,6 @@ from repro.etc.generation import (
     generate_range_based,
 )
 from repro.etc.io import from_csv, from_json, to_csv, to_json
-from repro.etc.matrix import ETCMatrix
 
 
 @st.composite

@@ -1,6 +1,5 @@
 """Property-based tests over all heuristics (hypothesis)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

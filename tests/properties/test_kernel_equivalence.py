@@ -10,7 +10,6 @@ that makes genuine ties common, so the tolerance logic and the random
 policy's draw-consumption discipline are both exercised hard.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

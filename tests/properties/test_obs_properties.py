@@ -7,6 +7,9 @@ from (and therefore consistent with) its event stream — whether the run
 was serial or merged across worker processes.
 """
 
+import io
+import json
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -18,7 +21,14 @@ from repro.core.ties import DeterministicTieBreaker, RandomTieBreaker
 from repro.etc.generation import Consistency, Heterogeneity
 from repro.etc.matrix import ETCMatrix
 from repro.heuristics import get_heuristic
-from repro.obs import CollectingTracer, event_to_dict, use_tracer
+from repro.obs import (
+    CollectingTracer,
+    ProgressReporter,
+    event_to_dict,
+    records_to_snapshot,
+    snapshot_to_jsonl,
+    use_tracer,
+)
 
 pytestmark = pytest.mark.obs
 
@@ -171,3 +181,155 @@ class TestParallelMerge:
         assert [r.comparison for r in records] == [
             r.comparison for r in serial_records
         ]
+
+    def test_merged_histograms_equal_serial(self, grid_config):
+        """Deterministic histograms merge byte-identically; wall-clock
+        ``*_s`` histograms merge structurally (same buckets, same total
+        observation count — the per-bucket spread depends on timings)."""
+        _, serial = self._serial(grid_config)
+        _, parallel = self._parallel(grid_config)
+        serial_hists = serial.histograms.as_dict()
+        parallel_hists = parallel.histograms.as_dict()
+        assert set(parallel_hists) == set(serial_hists)
+        assert "decision.tie_candidates" in serial_hists
+        assert "experiment.cell_runtime_s" in serial_hists
+        for name, stat in serial_hists.items():
+            merged = parallel_hists[name]
+            if name.endswith("_s"):
+                assert merged.buckets == stat.buckets
+                assert merged.count == stat.count
+            else:
+                assert merged == stat  # frozen dataclass: full bit equality
+
+    def test_merged_gauges_equal_serial(self, grid_config):
+        """Cell-order merging makes last-writer-wins deterministic: the
+        merged gauge values equal the serial run's."""
+        _, serial = self._serial(grid_config)
+        _, parallel = self._parallel(grid_config)
+        assert "experiment.last_original_makespan" in serial.gauges.as_dict()
+        assert parallel.gauges.as_dict() == serial.gauges.as_dict()
+
+    def test_progress_does_not_perturb_trace(self, grid_config):
+        """The acceptance property: a sweep under a live progress
+        reporter yields an event stream and merged histograms
+        byte-identical to the serial run without one."""
+        _, serial = self._serial(grid_config)
+        stream = io.StringIO()
+        with use_tracer(CollectingTracer()) as parallel:
+            run_experiment_parallel(
+                grid_config,
+                max_workers=2,
+                progress=ProgressReporter(stream=stream, label="cells"),
+            )
+        assert stream.getvalue()  # progress actually rendered
+        assert [event_to_dict(e) for e in parallel.events] == [
+            event_to_dict(e) for e in serial.events
+        ]
+        deterministic = {
+            name: stat
+            for name, stat in parallel.histograms.as_dict().items()
+            if not name.endswith("_s")
+        }
+        assert deterministic == {
+            name: stat
+            for name, stat in serial.histograms.as_dict().items()
+            if not name.endswith("_s")
+        }
+        assert parallel.gauges.as_dict() == serial.gauges.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip: export -> parse -> records_to_snapshot is the identity
+# ---------------------------------------------------------------------------
+
+_NAMES = st.text("abcdefgh._", min_size=1, max_size=12)
+_FINITE = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_POSITIVE = st.floats(
+    min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+_BUCKET_BOUNDS = st.lists(
+    st.floats(0.1, 1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+    unique=True,
+).map(lambda bounds: tuple(sorted(bounds)))
+
+
+@st.composite
+def collected_tracers(draw):
+    """A CollectingTracer exercised with random metric traffic."""
+    tracer = CollectingTracer()
+    for kind in draw(st.lists(_NAMES, max_size=5)):
+        tracer.event(kind, value=draw(_FINITE))
+    for name in draw(st.lists(_NAMES, max_size=5)):
+        tracer.count(name, draw(st.integers(0, 1000)))
+    for name in draw(st.lists(_NAMES, max_size=4, unique=True)):
+        buckets = draw(_BUCKET_BOUNDS)
+        for value in draw(st.lists(_FINITE, min_size=1, max_size=6)):
+            tracer.observe(name, value, buckets=buckets)
+    for name in draw(st.lists(_NAMES, max_size=4)):
+        tracer.gauge(name, draw(_FINITE))
+    for name in draw(st.lists(_NAMES, max_size=4)):
+        tracer.timers.record(name, draw(_POSITIVE))
+    return tracer
+
+
+@given(tracer=collected_tracers())
+@settings(max_examples=50, deadline=None)
+def test_jsonl_roundtrip_is_identity(tracer):
+    """Parsing an export back recovers every metric aggregate exactly:
+    counters, gauges, histograms (bucket bounds, per-bucket counts,
+    sum/min/max) and timers, plus the event stream in sequence order."""
+    original = tracer.snapshot()
+    text = snapshot_to_jsonl(original)
+    records = [json.loads(line) for line in text.splitlines()]
+    recovered = records_to_snapshot(records)
+    assert recovered.counters == original.counters
+    assert recovered.gauges == original.gauges
+    assert recovered.histograms == original.histograms
+    assert recovered.timers == original.timers
+    assert [event_to_dict(e) for e in recovered.events] == [
+        event_to_dict(e) for e in original.events
+    ]
+
+
+@given(tracer=collected_tracers())
+@settings(max_examples=25, deadline=None)
+def test_jsonl_reexport_is_byte_stable(tracer):
+    """Export -> import -> export reproduces the original bytes."""
+    text = snapshot_to_jsonl(tracer.snapshot())
+    records = [json.loads(line) for line in text.splitlines()]
+    assert snapshot_to_jsonl(records_to_snapshot(records)) == text
+
+
+@given(
+    values=st.lists(
+        st.integers(-1000, 1000).map(float), min_size=1, max_size=20
+    ),
+    split=st.integers(0, 20),
+    buckets=_BUCKET_BOUNDS,
+)
+@settings(max_examples=50, deadline=None)
+def test_histogram_merge_is_partition_independent(values, split, buckets):
+    """Observing a value list serially or split across two tracers and
+    merging yields the same HistogramStat — the property that makes
+    worker merges trustworthy.
+
+    Integer-valued observations only: float ``sum`` accumulation is not
+    associative, which is exactly why the deterministic-merge contract
+    covers the integer-valued decision histograms and treats wall-clock
+    ``*_s`` histograms structurally instead.
+    """
+    split = min(split, len(values))
+    serial = CollectingTracer()
+    for value in values:
+        serial.observe("h", value, buckets=buckets)
+    left, right = CollectingTracer(), CollectingTracer()
+    for value in values[:split]:
+        left.observe("h", value, buckets=buckets)
+    for value in values[split:]:
+        right.observe("h", value, buckets=buckets)
+    left.merge_snapshot(right.snapshot())
+    assert left.histograms.get("h") == serial.histograms.get("h")

@@ -1,7 +1,6 @@
 """Property-based tests for the robustness analysis (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,7 +8,6 @@ from repro.analysis.robustness import (
     perturbed_finish_times,
     robustness_radius,
 )
-from repro.core.schedule import Mapping
 from repro.etc.matrix import ETCMatrix
 from repro.heuristics import MCT
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.etc.generation import generate_range_based
-from repro.etc.matrix import ETCMatrix
 from repro.exceptions import ConfigurationError
 from repro.heuristics import get_heuristic
 from repro.sim.hcsystem import (

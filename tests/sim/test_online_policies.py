@@ -1,6 +1,5 @@
 """Focused tests for the on-line policy objects (decision semantics)."""
 
-import math
 
 import numpy as np
 import pytest

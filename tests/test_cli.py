@@ -248,6 +248,89 @@ class TestTrace:
         assert out.count("decision trace") == len(TRACE_EXAMPLES)
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestLedgerEndToEnd:
+    def _bench(self, ledger):
+        return main(["bench", "--smoke", "--repeats", "1",
+                     "--workloads", "minmin-512x32", "--no-reference",
+                     "--append-ledger", "--ledger", str(ledger)])
+
+    def test_bench_appends_then_obs_inspects(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert self._bench(ledger) == 0
+        assert self._bench(ledger) == 0
+        assert "ledger: appended run" in capsys.readouterr().out
+
+        assert main(["obs", "tail", "--ledger", str(ledger)]) == 0
+        tail = capsys.readouterr().out
+        assert len(tail.splitlines()) == 2
+        assert "bench" in tail
+
+        assert main(["obs", "summary", "--ledger", str(ledger)]) == 0
+        summary = capsys.readouterr().out
+        assert "bench: 2 run(s)" in summary
+        assert "bench.minmin-512x32.best_s" in summary
+
+        # huge tolerance: the two runs' wall-clock timings legitimately
+        # jitter, and this test is about the plumbing, not the verdict
+        assert main(["obs", "diff", "-2", "-1", "--tolerance", "10",
+                     "--ledger", str(ledger)]) == 0
+        diff = capsys.readouterr().out
+        assert "bench.minmin-512x32.best_s" in diff
+
+    def test_study_appends_counters(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["study", "--heuristics", "mct", "--tasks", "8",
+                     "--machines", "3", "--instances", "2",
+                     "--append-ledger", "--ledger", str(ledger)]) == 0
+        from repro.obs.ledger import RunLedger
+
+        (record,) = RunLedger(ledger).read()
+        assert record["command"] == "study"
+        assert record["counters"].get("decisions", 0) > 0
+        assert "makespan_increase_rate_mean" in record["metrics"]
+
+    def test_obs_tail_empty_ledger(self, tmp_path, capsys):
+        assert main(["obs", "tail", "--ledger",
+                     str(tmp_path / "none.jsonl")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_obs_diff_regression_exits_1(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger, build_record
+
+        ledger = tmp_path / "ledger.jsonl"
+        store = RunLedger(ledger)
+        store.append(build_record(
+            "compare", metrics={"makespan_mean_overall": 100.0},
+            timestamp="2026-01-01T00:00:00+00:00"))
+        store.append(build_record(
+            "compare", metrics={"makespan_mean_overall": 150.0},
+            timestamp="2026-01-02T00:00:00+00:00"))
+        assert main(["obs", "diff", "-2", "-1",
+                     "--ledger", str(ledger)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "makespan_mean_overall" in captured.err
+
+    def test_export_progress_renders_to_stderr(self, tmp_path, capsys):
+        out = tmp_path / "records.csv"
+        assert main(["export", "--heuristics", "mct", "--tasks", "8",
+                     "--machines", "3", "--instances", "2",
+                     "--progress", "-o", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "cells" in captured.err
+        assert "cells" not in out.read_text()  # progress never hits data
+
+
 class TestIterateChart:
     def test_chart_flag_renders_trajectory(self, tmp_path, capsys):
         from repro.etc.generation import generate_range_based

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Zero-dependency lint fallback for environments without ruff.
+
+``make lint`` prefers ``ruff check`` (configured in pyproject.toml).
+This script is the degraded path for minimal containers: it walks the
+given directories and reports, per Python file,
+
+* syntax errors (the file fails to parse),
+* imports that are never used,
+* names imported more than once.
+
+It deliberately checks only what can be decided reliably from a single
+file's AST — no style rules, no cross-module analysis.  Exit status is
+0 when clean, 1 when any finding is reported.
+
+Usage::
+
+    python tools/lint_fallback.py src tests benchmarks examples tools
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Imports that exist for their side effects or for re-export; a bare
+#: usage scan would flag them as unused.
+_USED_BY_CONVENTION = {"annotations"}
+
+
+def _imported_names(tree: ast.Module):
+    """Yield ``(local_name, node)`` for every module-level import binding.
+
+    Function-local imports are skipped: they are deliberate lazy imports
+    in this codebase and shadowing them is scope-legal.
+    """
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                yield local, node
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                yield alias.asname or alias.name, node
+
+
+def _used_names(tree: ast.AST) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # Root of a dotted access: ``np.argsort`` uses ``np``.
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Parameter names count as usages: pytest fixtures are
+            # imported into a module and consumed via argument names.
+            args = node.args
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *((args.vararg,) if args.vararg else ()),
+                *((args.kwarg,) if args.kwarg else ()),
+            ):
+                used.add(arg.arg)
+    return used
+
+
+def _exported_names(tree: ast.Module) -> set[str]:
+    """Names listed in a literal module-level ``__all__``."""
+    exported: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    exported.add(elt.value)
+    return exported
+
+
+def check_file(path: Path) -> list[str]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+
+    findings: list[str] = []
+    used = _used_names(tree)
+    exported = _exported_names(tree)
+    # Packages re-export via __init__.py without referencing the names.
+    is_package_init = path.name == "__init__.py"
+    seen: dict[str, int] = {}
+    for name, node in _imported_names(tree):
+        if name in seen:
+            findings.append(
+                f"{path}:{node.lineno}: duplicate import of {name!r} "
+                f"(first at line {seen[name]})"
+            )
+            continue
+        seen[name] = node.lineno
+        if name in _USED_BY_CONVENTION or name.startswith("_"):
+            continue
+        if name not in used and name not in exported and not is_package_init:
+            findings.append(f"{path}:{node.lineno}: unused import {name!r}")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv] or [Path("src")]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file() and root.suffix == ".py":
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+    findings: list[str] = []
+    for path in files:
+        findings.extend(check_file(path))
+    for line in findings:
+        print(line)
+    print(
+        f"lint_fallback: {len(files)} files checked, {len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
