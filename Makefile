@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint smoke-obs bench bench-smoke bench-baseline bench-pytest
+.PHONY: test lint smoke-obs smoke-faults bench bench-smoke bench-baseline bench-pytest
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -25,6 +25,16 @@ lint:
 smoke-obs:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m obs
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace --example min-min
+
+# Fault-injection smoke: the fault plan/executor/study test batteries
+# plus one end-to-end CLI run that injects failures and recovers (see
+# docs/robustness.md).
+smoke-faults:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/sim/test_faults.py tests/analysis/test_fault_study.py \
+		tests/core/test_iterative_edges.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro simulate --faults \
+		--tasks 20 --machines 4 --failures 3 --recovery remap
 
 # Full benchmark harness: times the tracked 512x32 workloads (optimised
 # and retained reference kernels), writes BENCH_current.json, and fails

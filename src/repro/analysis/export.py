@@ -98,6 +98,7 @@ def iterative_result_to_dict(result: IterativeResult) -> dict:
         "initial_ready_times": dict(result.initial_ready_times),
         "final_finish_times": dict(result.final_finish_times),
         "removal_order": list(result.removal_order),
+        "unfrozen": list(result.unfrozen),
         "makespans": list(result.makespans()),
         "makespan_increased": result.makespan_increased(),
         "mapping_changed": result.mapping_changed(),

@@ -8,6 +8,8 @@ Usage (after install)::
     python -m repro study    --tasks 30 --machines 8 --instances 20
     python -m repro compare  --heuristics min-min,mct,met,olb
     python -m repro simulate --tasks 100 --machines 8 --policy mct
+    python -m repro simulate --faults --failures 3 --recovery remap
+    python -m repro study    --faults --heuristics min-min --instances 5
     python -m repro trace    --example min-min
     python -m repro bench    --baseline BENCH_baseline.json --append-ledger
     python -m repro obs      tail
@@ -197,6 +199,8 @@ def cmd_iterate(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
+    if args.faults:
+        return _cmd_study_faults(args)
     started = time.perf_counter()
     with _maybe_collect(args.append_ledger) as tracer:
         rows = improvement_study(
@@ -249,6 +253,70 @@ def cmd_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_study_faults(args: argparse.Namespace) -> int:
+    """``study --faults``: original-vs-iterative fault degradation."""
+    from repro.analysis.robustness import (
+        fault_degradation_study,
+        format_fault_table,
+    )
+
+    started = time.perf_counter()
+    try:
+        rates = tuple(float(r) for r in args.failure_rates.split(","))
+    except ValueError:
+        print(f"--failure-rates must be comma-separated numbers, "
+              f"got {args.failure_rates!r}", file=sys.stderr)
+        return 2
+    heuristics = tuple(args.heuristics.split(","))
+    rows = []
+    with _maybe_collect(args.append_ledger) as tracer:
+        for heuristic in heuristics:
+            rows.extend(fault_degradation_study(
+                heuristic,
+                failure_rates=rates,
+                num_tasks=args.tasks,
+                num_machines=args.machines,
+                instances=args.instances,
+                policy=args.recovery,
+                retry_budget=args.retry_budget,
+                downtime_frac=args.downtime_frac,
+                heterogeneity=args.heterogeneity,
+                consistency=args.consistency,
+                seed=args.seed,
+            ))
+    print(format_fault_table(rows))
+    if args.append_ledger:
+        metrics = {}
+        for r in rows:
+            prefix = f"{r.heuristic}.{r.mapping_kind}.rate_{r.failure_rate:g}"
+            metrics[f"{prefix}.makespan_degradation"] = r.makespan_degradation
+            metrics[f"{prefix}.non_makespan_degradation"] = (
+                r.non_makespan_degradation
+            )
+            metrics[f"{prefix}.failures"] = r.failures
+            metrics[f"{prefix}.dropped"] = r.dropped
+        _ledger_append(
+            args,
+            "study-faults",
+            started=started,
+            config={
+                "heuristics": args.heuristics,
+                "tasks": args.tasks,
+                "machines": args.machines,
+                "instances": args.instances,
+                "failure_rates": args.failure_rates,
+                "recovery": args.recovery,
+                "retry_budget": args.retry_budget,
+                "downtime_frac": args.downtime_frac,
+                "heterogeneity": args.heterogeneity.value,
+                "consistency": args.consistency.value,
+            },
+            metrics=metrics,
+            counters=tracer.counters.as_dict() if tracer is not None else None,
+        )
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     rows = heuristic_comparison(
@@ -288,7 +356,94 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate_faults(args: argparse.Namespace) -> int:
+    """``simulate --faults``: execute a static mapping under a seeded
+    fault plan and report how recovery coped."""
+    import numpy as np
+
+    from repro.sim.faults import FaultConfig, generate_fault_plan
+    from repro.sim.hcsystem import FaultTolerantHCSystem
+
+    started = time.perf_counter()
+    etc = generation.generate_range_based(
+        args.tasks, args.machines, args.heterogeneity, args.consistency,
+        rng=args.seed,
+    )
+    heuristic = _make_heuristic(args.heuristic, args.seed)
+    mapping = heuristic.map_tasks(etc)
+    horizon = mapping.makespan()
+    mean_downtime = args.downtime_frac * horizon
+    config = FaultConfig(
+        failure_rate=args.failures / horizon,
+        mean_downtime=mean_downtime,
+        slowdown_rate=args.slowdowns / horizon if args.slowdowns else 0.0,
+        slowdown_factor=args.slowdown_factor,
+        mean_slowdown=mean_downtime if args.slowdowns else 0.0,
+    )
+    plan = generate_fault_plan(
+        etc.machines, config, horizon, rng=np.random.default_rng(args.seed + 1)
+    )
+    with _maybe_collect(args.append_ledger) as tracer:
+        system = FaultTolerantHCSystem(
+            etc,
+            plan,
+            policy=args.recovery,
+            retry_budget=args.retry_budget,
+            backoff_base=max(0.25 * mean_downtime, 1e-9),
+            backoff_cap=4.0 * mean_downtime,
+        )
+        result = system.execute(mapping)
+    degradation = result.makespan / horizon if horizon > 0 else 1.0
+    print(f"heuristic           : {args.heuristic}")
+    print(f"recovery policy     : {args.recovery} "
+          f"(retry budget {args.retry_budget})")
+    print(f"fault plan          : {plan.num_failures} failures, "
+          f"{plan.num_slowdowns} slowdowns over horizon {horizon:.6g}")
+    print(f"plan signature      : {plan.signature()}")
+    print(f"fault-free makespan : {horizon:.6g}")
+    print(f"faulty makespan     : {result.makespan:.6g} "
+          f"(x{degradation:.3f})")
+    print(f"tasks completed     : {result.completed}/{mapping.num_assigned} "
+          f"(dropped {len(result.dropped)})")
+    print(f"failures hit        : {result.failures}  "
+          f"retries: {result.retries}  requeues: {result.requeues}")
+    for machine, finish in sorted(result.finish_times().items()):
+        print(f"  {machine:<6} finish {finish:.6g}")
+    if args.append_ledger:
+        _ledger_append(
+            args,
+            "simulate-faults",
+            started=started,
+            config={
+                "heuristic": args.heuristic,
+                "tasks": args.tasks,
+                "machines": args.machines,
+                "failures": args.failures,
+                "downtime_frac": args.downtime_frac,
+                "slowdowns": args.slowdowns,
+                "recovery": args.recovery,
+                "retry_budget": args.retry_budget,
+                "heterogeneity": args.heterogeneity.value,
+                "consistency": args.consistency.value,
+            },
+            metrics={
+                "fault_free_makespan": horizon,
+                "faulty_makespan": result.makespan,
+                "makespan_degradation": degradation,
+                "failures": result.failures,
+                "retries": result.retries,
+                "requeues": result.requeues,
+                "dropped": len(result.dropped),
+            },
+            counters=tracer.counters.as_dict() if tracer is not None else None,
+            extra={"plan_signature": plan.signature()},
+        )
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.faults:
+        return _cmd_simulate_faults(args)
     from repro.sim.hcsystem import (
         DynamicHCSimulation,
         KPBOnline,
@@ -541,6 +696,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     spans = " -> ".join(f"{s:g}" for s in result.makespans())
     print(f"makespans per iteration : {spans}")
     print(f"removal order           : {' -> '.join(result.removal_order)}")
+    if result.unfrozen:
+        print(f"never frozen            : {', '.join(result.unfrozen)}")
     if result.makespan_increased():
         print("makespan increased      : yes (the paper's phenomenon)")
     print("counters:")
@@ -737,6 +894,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--ledger", default=DEFAULT_LEDGER_PATH,
                        help="run ledger path (default: %(default)s)")
 
+    def add_faults(p):
+        from repro.sim.hcsystem import RECOVERY_POLICIES
+
+        p.add_argument("--faults", action="store_true",
+                       help="inject seeded machine failures and recoveries")
+        p.add_argument("--recovery", choices=RECOVERY_POLICIES,
+                       default="requeue",
+                       help="rescheduling policy for failed tasks")
+        p.add_argument("--retry-budget", type=int, default=8,
+                       help="max retries per task before it is dropped")
+        p.add_argument("--downtime-frac", type=float, default=0.05,
+                       help="mean downtime as a fraction of the fault-free "
+                            "makespan")
+
     g = sub.add_parser("generate", help="generate a synthetic ETC matrix")
     g.add_argument("--tasks", type=int, required=True)
     g.add_argument("--machines", type=int, required=True)
@@ -777,6 +948,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--ties", default="deterministic",
                    help="comma list: deterministic,random")
     s.add_argument("--seeded", action="store_true")
+    s.add_argument("--failure-rates", default="1e-6,3e-6,1e-5",
+                   help="(--faults) comma list of failure rates per machine "
+                        "per time unit")
+    add_faults(s)
     add_common(s)
     add_ledger(s)
     s.set_defaults(func=cmd_study)
@@ -802,7 +977,19 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--batch-interval", type=float, default=1000.0)
     d.add_argument("--progress", action="store_true",
                    help="live event-count progress on stderr")
+    d.add_argument("--heuristic", choices=heuristic_names(), default="min-min",
+                   help="(--faults) mapping heuristic for the static run")
+    d.add_argument("--failures", type=float, default=2.0,
+                   help="(--faults) expected failures per machine over the "
+                        "fault-free makespan")
+    d.add_argument("--slowdowns", type=float, default=0.0,
+                   help="(--faults) expected slowdown episodes per machine "
+                        "over the fault-free makespan")
+    d.add_argument("--slowdown-factor", type=float, default=2.0,
+                   help="(--faults) execution-time multiplier while slowed")
+    add_faults(d)
     add_common(d)
+    add_ledger(d)
     d.set_defaults(func=cmd_simulate)
 
     w = sub.add_parser("witness", help="search for a makespan-increase witness")

@@ -69,8 +69,20 @@ class IterativeResult:
     """Full trace of an iterative run.
 
     ``final_finish_times`` maps every machine of the input ETC matrix to
-    its finishing time under the technique (see module docstring);
-    ``removal_order`` lists machines in the order they were frozen.
+    its finishing time under the technique (see module docstring).
+
+    ``removal_order`` lists machines in the order they were frozen —
+    exactly one per iteration record, so
+    ``removal_order[i] == iterations[i].frozen_machine`` and
+    ``len(removal_order) == num_iterations`` always hold.
+
+    ``unfrozen`` lists the machines that were *never* frozen, in input
+    machine order: survivors of a run that stopped because the task pool
+    emptied or because ``max_iterations`` capped it.  Together the two
+    partition the machine set —
+    ``set(removal_order) | set(unfrozen) == set(etc.machines)`` and the
+    two are disjoint.  (Runs that freeze every machine have an empty
+    ``unfrozen``.)
     """
 
     etc: ETCMatrix
@@ -79,6 +91,7 @@ class IterativeResult:
     final_finish_times: dict[str, float]
     removal_order: tuple[str, ...]
     initial_ready_times: dict[str, float] = field(default_factory=dict)
+    unfrozen: tuple[str, ...] = ()
 
     @property
     def original(self) -> IterationRecord:
@@ -121,6 +134,29 @@ class IterativeResult:
         return {
             m: original[m] - self.final_finish_times[m] for m in self.etc.machines
         }
+
+    def final_mapping(self) -> Mapping:
+        """The technique's outcome as one executable :class:`Mapping`.
+
+        Each frozen machine runs exactly the tasks it was frozen with
+        (from its initial ready time — iterations reset ready times, so
+        the composite's per-machine finishing times reproduce
+        ``final_finish_times``); tasks still held by never-frozen
+        survivors of a ``max_iterations``-capped run keep their
+        last-iteration assignment.  Exhausted-pool survivors run nothing.
+        """
+        assigned: dict[str, str] = {}
+        for rec in self.iterations:
+            for task in rec.frozen_tasks:
+                assigned[task] = rec.frozen_machine
+        last = self.iterations[-1]
+        for a in last.mapping.assignments:
+            assigned.setdefault(a.task, a.machine)
+        ready = [self.initial_ready_times.get(m, 0.0) for m in self.etc.machines]
+        mapping = Mapping(self.etc, ready)
+        for task in self.etc.tasks:
+            mapping.assign(task, assigned[task])
+        return mapping
 
     def mapping_changed(self) -> bool:
         """Whether any iteration re-mapped a task differently.
@@ -203,7 +239,7 @@ class IterativeScheduler:
             tasks=etc.num_tasks,
             machines=etc.num_machines,
         ):
-            final_finish, removal_order, records = self._iterate(
+            final_finish, removal_order, unfrozen, records = self._iterate(
                 tracer, etc, ready_by_machine, max_iterations
             )
 
@@ -214,6 +250,7 @@ class IterativeScheduler:
             final_finish_times=final_finish,
             removal_order=tuple(removal_order),
             initial_ready_times=dict(ready_by_machine),
+            unfrozen=tuple(unfrozen),
         )
 
     def _iterate(
@@ -222,11 +259,18 @@ class IterativeScheduler:
         current_etc: ETCMatrix,
         ready_by_machine: dict[str, float],
         max_iterations: int | None,
-    ) -> tuple[dict[str, float], list[str], list[IterationRecord]]:
-        """The freeze/remap loop of :meth:`run` (one call per run)."""
+    ) -> tuple[dict[str, float], list[str], list[str], list[IterationRecord]]:
+        """The freeze/remap loop of :meth:`run` (one call per run).
+
+        Returns ``(final_finish, removal_order, unfrozen, records)``.
+        ``removal_order`` holds exactly the frozen machines (one per
+        record); never-frozen survivors land in ``unfrozen`` instead —
+        see :class:`IterativeResult` for the contract.
+        """
         records: list[IterationRecord] = []
         final_finish: dict[str, float] = {}
         removal_order: list[str] = []
+        unfrozen: list[str] = []
         previous_mapping: Mapping | None = None
 
         while True:
@@ -266,13 +310,19 @@ class IterativeScheduler:
                 tracer.observe("iterative.freeze_depth", len(records) - 1)
                 tracer.observe("iterative.frozen_tasks", len(frozen_tasks))
 
+            survivors = tuple(
+                m for m in current_etc.machines if m != frozen_machine
+            )
             last_allowed = (
                 max_iterations is not None and len(records) >= max_iterations
             )
             if current_etc.num_machines == 1 or last_allowed:
-                # Remaining machines keep this iteration's finishing times.
-                for m in current_etc.machines:
-                    final_finish.setdefault(m, mapping.ready_time(m))
+                # Never-frozen survivors keep this iteration's finishing
+                # times; they were not frozen, so they do not join the
+                # removal order.
+                for m in survivors:
+                    final_finish[m] = mapping.ready_time(m)
+                unfrozen.extend(survivors)
                 break
 
             surviving_tasks = [
@@ -281,12 +331,9 @@ class IterativeScheduler:
             if not surviving_tasks:
                 # Task pool exhausted: survivors never run anything and
                 # finish at their initial ready times.
-                survivors = tuple(
-                    m for m in current_etc.machines if m != frozen_machine
-                )
                 for m in survivors:
                     final_finish[m] = ready_by_machine[m]
-                    removal_order.append(m)
+                unfrozen.extend(survivors)
                 if tracer.enabled and survivors:
                     tracer.event(
                         "iterative.exhausted",
@@ -301,7 +348,7 @@ class IterativeScheduler:
             # parent buffer (no re-validation, no intermediate matrix).
             current_etc = current_etc.without_machine(frozen_machine, frozen_tasks)
 
-        return final_finish, removal_order, records
+        return final_finish, removal_order, unfrozen, records
 
     # ------------------------------------------------------------------
     def _map_iteration(

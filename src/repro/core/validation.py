@@ -68,7 +68,9 @@ def validate_iterative_result(result: IterativeResult) -> None:
       tasks;
     * every machine of the instance has exactly one final finishing
       time, equal to its finishing time in the iteration that froze it;
-    * the removal order is consistent with the iteration records.
+    * the removal order matches the iteration records exactly (one
+      frozen machine per record), and the never-frozen survivors in
+      ``unfrozen`` partition the machine set together with it.
     """
     etc = result.etc
     if set(result.final_finish_times) != set(etc.machines):
@@ -107,10 +109,26 @@ def validate_iterative_result(result: IterativeResult) -> None:
             )
         previous = rec
 
+    if len(result.removal_order) != len(result.iterations):
+        raise MappingError(
+            f"removal order has {len(result.removal_order)} machines for "
+            f"{len(result.iterations)} iterations (must be one per record)"
+        )
     for machine, rec_machine in zip(result.removal_order, result.iterations):
         if rec_machine.frozen_machine != machine:
-            # Removal order may extend past the records when the task
-            # pool empties; the prefix must match the records exactly.
             raise MappingError(
                 f"removal order {result.removal_order} disagrees with records"
             )
+    frozen_set = set(result.removal_order)
+    unfrozen_set = set(result.unfrozen)
+    if frozen_set & unfrozen_set:
+        raise MappingError(
+            f"machines {sorted(frozen_set & unfrozen_set)} appear both "
+            "frozen and unfrozen"
+        )
+    if frozen_set | unfrozen_set != set(etc.machines):
+        raise MappingError(
+            "removal order and unfrozen survivors do not partition the "
+            f"machine set: {result.removal_order} + {result.unfrozen} vs "
+            f"{etc.machines}"
+        )

@@ -29,18 +29,45 @@ __all__ = [
 ]
 
 
+def _stripped_labels(labels, kind: str) -> tuple[str, ...]:
+    """Strip surrounding whitespace and reject the duplicates that
+    stripping can create (e.g. ``"m0"`` vs ``"m0 "``) with a clear
+    error instead of a confusing downstream matrix failure."""
+    stripped = tuple(str(label).strip() for label in labels)
+    seen: set[str] = set()
+    for label in stripped:
+        if label in seen:
+            raise ETCShapeError(
+                f"duplicate {kind} label {label!r} in CSV "
+                "(labels are compared after stripping whitespace)"
+            )
+        seen.add(label)
+    return stripped
+
+
 def to_csv(etc: ETCMatrix) -> str:
-    """Serialise to CSV text (header row ``task,<machines...>``)."""
+    """Serialise to CSV text (header row ``task,<machines...>``).
+
+    Labels are stripped of surrounding whitespace on the way out — the
+    same normalisation :func:`from_csv` applies — so ``to_csv`` →
+    ``from_csv`` round-trips labels exactly.
+    """
+    machines = _stripped_labels(etc.machines, "machine")
+    tasks = _stripped_labels(etc.tasks, "task")
     buf = _io.StringIO()
     writer = csv.writer(buf, lineterminator="\n")
-    writer.writerow(["task", *etc.machines])
-    for i, task in enumerate(etc.tasks):
+    writer.writerow(["task", *machines])
+    for i, task in enumerate(tasks):
         writer.writerow([task, *(repr(float(v)) for v in etc.values[i])])
     return buf.getvalue()
 
 
 def from_csv(text: str) -> ETCMatrix:
-    """Parse CSV text produced by :func:`to_csv` (or hand-written)."""
+    """Parse CSV text produced by :func:`to_csv` (or hand-written).
+
+    Task and machine labels are stripped of surrounding whitespace;
+    labels that collide after stripping raise :class:`ETCShapeError`.
+    """
     rows = [r for r in csv.reader(_io.StringIO(text)) if r]
     if not rows:
         raise ETCShapeError("empty CSV")
@@ -49,16 +76,17 @@ def from_csv(text: str) -> ETCMatrix:
         raise ETCShapeError(
             f"CSV header must be 'task,<machine>...', got {header!r}"
         )
-    machines = [h.strip() for h in header[1:]]
-    tasks: list[str] = []
+    machines = _stripped_labels(header[1:], "machine")
+    raw_tasks: list[str] = []
     values: list[list[float]] = []
     for row in rows[1:]:
         if len(row) != len(header):
             raise ETCShapeError(
                 f"CSV row {row!r} has {len(row)} cells, expected {len(header)}"
             )
-        tasks.append(row[0].strip())
+        raw_tasks.append(row[0])
         values.append([float(cell) for cell in row[1:]])
+    tasks = _stripped_labels(raw_tasks, "task")
     return ETCMatrix(values, tasks=tasks, machines=machines)
 
 

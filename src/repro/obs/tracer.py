@@ -82,8 +82,11 @@ class Tracer:
 
     enabled: bool = False
 
-    def event(self, kind: str, **fields) -> None:
-        """Record one structured event (no-op when disabled)."""
+    def event(self, kind: str, /, **fields) -> None:
+        """Record one structured event (no-op when disabled).
+
+        ``kind`` is positional-only so events may carry a field that is
+        itself named ``kind`` (e.g. ``sim.dispatch``)."""
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a named counter (no-op when disabled)."""
@@ -96,7 +99,7 @@ class Tracer:
     def gauge(self, name: str, value: float) -> None:
         """Record the current value of a named gauge (no-op when disabled)."""
 
-    def span(self, kind: str, **fields):
+    def span(self, kind: str, /, **fields):
         """Context manager timing its block under ``kind``; on exit the
         duration lands in the timers and one ``kind`` event is emitted
         (without the duration, keeping event streams deterministic)."""
@@ -187,7 +190,7 @@ class CollectingTracer(Tracer):
         """All collected events of one ``kind``, in emission order."""
         return tuple(e for e in self._events if e.kind == kind)
 
-    def event(self, kind: str, **fields) -> None:
+    def event(self, kind: str, /, **fields) -> None:
         self._events.append(TraceEvent(len(self._events), kind, fields))
         self.counters.inc(f"events.{kind}")
 
@@ -202,7 +205,7 @@ class CollectingTracer(Tracer):
     def gauge(self, name: str, value: float) -> None:
         self.gauges.set(name, value)
 
-    def span(self, kind: str, **fields):
+    def span(self, kind: str, /, **fields):
         return _Span(self, kind, fields)
 
     def snapshot(self) -> ObsSnapshot:

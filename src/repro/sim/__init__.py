@@ -2,9 +2,19 @@
 
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
+from repro.sim.faults import (
+    FAULT_KINDS,
+    FaultConfig,
+    FaultEvent,
+    FaultPlan,
+    generate_fault_plan,
+)
 from repro.sim.hcsystem import (
+    RECOVERY_POLICIES,
     ArrivalWorkload,
     DynamicHCSimulation,
+    FaultTolerantHCSystem,
+    FaultyExecution,
     HCSystem,
     KPBOnline,
     MCTOnline,
@@ -32,4 +42,12 @@ __all__ = [
     "KPBOnline",
     "SWAOnline",
     "DynamicHCSimulation",
+    "FAULT_KINDS",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultPlan",
+    "generate_fault_plan",
+    "RECOVERY_POLICIES",
+    "FaultyExecution",
+    "FaultTolerantHCSystem",
 ]

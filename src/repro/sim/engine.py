@@ -83,15 +83,19 @@ class Simulator:
 
         ``progress`` is an optional
         :class:`~repro.obs.progress.ProgressReporter` advanced every
-        ``progress_every`` dispatches with the current simulation time.
-        It writes only to its own stream — never to the tracer — so
-        enabling it cannot perturb the ``sim.dispatch`` event stream.
+        ``progress_every`` dispatches of *this* call with the current
+        simulation time; the final partial batch is flushed before
+        ``finish()``, so the reported total always equals the number of
+        events this call dispatched.  It writes only to its own stream —
+        never to the tracer — so enabling it cannot perturb the
+        ``sim.dispatch`` event stream.
         """
         if progress_every < 1:
             raise SimulationError(
                 f"progress_every must be >= 1, got {progress_every}"
             )
         tracer = get_tracer()
+        dispatched = 0
         try:
             while self._queue:
                 next_time = self._queue.peek_time()
@@ -106,6 +110,7 @@ class Simulator:
                 event = self._queue.pop()
                 self._now = event.time
                 self._processed += 1
+                dispatched += 1
                 handlers = self._handlers.get(event.kind)
                 if not handlers:
                     raise SimulationError(
@@ -122,10 +127,13 @@ class Simulator:
                     tracer.count(f"sim.events.{event.kind}")
                 for handler in handlers:
                     handler(event)
-                if progress is not None and self._processed % progress_every == 0:
+                if progress is not None and dispatched % progress_every == 0:
                     progress.advance(f"t={self._now:g}", n=progress_every)
         finally:
             if progress is not None:
+                remainder = dispatched % progress_every
+                if remainder:
+                    progress.advance(f"t={self._now:g}", n=remainder)
                 progress.finish()
         if until is not None and until > self._now:
             self._now = until

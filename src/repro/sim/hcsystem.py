@@ -14,6 +14,14 @@ Two operating modes, both built on the generic engine:
   arrives using an :class:`OnlinePolicy`; *batch mode* collects pending
   tasks and remaps them with a full batch heuristic at every mapping
   event (fixed-interval cadence).
+
+* **faulty** (:class:`FaultTolerantHCSystem`) — execute a static
+  mapping while a seeded :class:`~repro.sim.faults.FaultPlan` injects
+  machine failures, recoveries and slowdowns.  Interrupted tasks are
+  recovered with bounded exponential backoff under a per-task retry
+  budget, either back onto their mapped machine (``requeue``) or onto
+  the machine with the earliest expected completion among the live ones
+  (``remap`` — the MCT re-mapping rule).  See docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -32,7 +40,9 @@ from repro.exceptions import ConfigurationError, SimulationError
 from repro.heuristics.base import Heuristic
 from repro.heuristics.kpb import kpb_subset_size
 from repro.heuristics.swa import balance_index
+from repro.obs.tracer import get_tracer
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultPlan
 from repro.sim.trace import ExecutionTrace, TaskExecution
 
 __all__ = [
@@ -46,6 +56,9 @@ __all__ = [
     "KPBOnline",
     "SWAOnline",
     "DynamicHCSimulation",
+    "RECOVERY_POLICIES",
+    "FaultyExecution",
+    "FaultTolerantHCSystem",
 ]
 
 
@@ -110,6 +123,340 @@ class HCSystem:
         trace = self.execute(mapping)
         base = dict(zip(self.etc.machines, self._initial_ready.tolist()))
         return trace.machine_finish_times(initial_ready=base)
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant execution
+# ----------------------------------------------------------------------
+#: Recovery policies for tasks interrupted by a machine failure.
+RECOVERY_POLICIES = ("requeue", "remap")
+
+
+@dataclass(frozen=True)
+class FaultyExecution:
+    """Outcome of one fault-injected run of a static mapping.
+
+    ``trace`` records the *successful* execution of every task (the
+    final attempt only); ``aborted`` counts attempts killed mid-run by a
+    machine failure; ``dropped`` lists tasks whose retry budget ran out
+    (empty when the system recovered everything).
+    """
+
+    trace: ExecutionTrace
+    plan: FaultPlan
+    policy: str
+    failures: int
+    recoveries: int
+    slowdowns: int
+    aborted: int
+    retries: int
+    requeues: int
+    dropped: tuple[str, ...]
+
+    @property
+    def completed(self) -> int:
+        return len(self.trace)
+
+    @property
+    def makespan(self) -> float:
+        return self.trace.makespan()
+
+    def finish_times(self, initial_ready=None) -> dict[str, float]:
+        return self.trace.machine_finish_times(initial_ready=initial_ready)
+
+
+class FaultTolerantHCSystem:
+    """Executes a static mapping under an injected :class:`FaultPlan`.
+
+    Failure semantics: when a machine fails, the task it is running is
+    aborted (all partial progress lost) and its queued tasks stall until
+    the machine recovers.  The aborted task re-enters service through
+    bounded exponential backoff — attempt ``a`` waits
+    ``min(backoff_base * 2**(a-1), backoff_cap)`` — until its per-task
+    ``retry_budget`` is exhausted, after which it is dropped (and
+    reported, never silently lost).  Where the retried task lands is the
+    ``policy``:
+
+    * ``"requeue"`` — back at the *head* of its mapped machine's queue,
+      so it resumes first once the machine recovers;
+    * ``"remap"`` — onto the live machine with the earliest expected
+      completion time (the MCT rule, recomputed from actual queue
+      state); queued tasks of the failed machine are re-mapped
+      immediately, without backoff, since they themselves never failed.
+
+    Slowdown events multiply the ETC of tasks *started* while the
+    machine is degraded; a running task's duration is fixed at start.
+
+    Runs are deterministic: the plan is data, the engine is
+    deterministic, and remap ties break to the lowest machine index.
+    Fault counters (``sim.failures``, ``sim.retries``, ...) and the
+    ``sim.requeue_latency`` histogram flow through the current
+    :mod:`repro.obs` tracer.
+    """
+
+    def __init__(
+        self,
+        etc: ETCMatrix,
+        plan: FaultPlan,
+        policy: str = "requeue",
+        retry_budget: int = 3,
+        backoff_base: float = 1.0,
+        backoff_cap: float | None = None,
+        initial_ready: MappingABC[str, float] | Sequence[float] | None = None,
+    ) -> None:
+        if policy not in RECOVERY_POLICIES:
+            raise ConfigurationError(
+                f"unknown recovery policy {policy!r}; choose from {RECOVERY_POLICIES}"
+            )
+        if retry_budget < 0:
+            raise ConfigurationError(
+                f"retry_budget must be >= 0, got {retry_budget}"
+            )
+        if backoff_base <= 0:
+            raise ConfigurationError(
+                f"backoff_base must be positive, got {backoff_base}"
+            )
+        if backoff_cap is None:
+            backoff_cap = 32.0 * backoff_base
+        if backoff_cap < backoff_base:
+            raise ConfigurationError(
+                f"backoff_cap {backoff_cap} must be >= backoff_base {backoff_base}"
+            )
+        if set(plan.machines) != set(etc.machines):
+            raise ConfigurationError(
+                "fault plan machine set does not match the ETC matrix"
+            )
+        self.etc = etc
+        self.plan = plan
+        self.policy = policy
+        self.retry_budget = int(retry_budget)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._initial_ready = ready_time_vector(etc, initial_ready)
+
+    # ------------------------------------------------------------------
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): bounded doubling."""
+        return min(self.backoff_base * 2.0 ** (attempt - 1), self.backoff_cap)
+
+    def execute(self, mapping: Mapping) -> FaultyExecution:
+        """Run ``mapping`` to completion under the fault plan."""
+        if mapping.etc is not self.etc and mapping.etc != self.etc:
+            raise SimulationError("mapping was built for a different ETC matrix")
+        etc = self.etc
+        tracer = get_tracer()
+        sim = Simulator()
+        trace = ExecutionTrace(etc.machines)
+        queues: dict[str, deque[str]] = {
+            m: deque(mapping.machine_tasks(m)) for m in etc.machines
+        }
+        up: dict[str, bool] = dict.fromkeys(etc.machines, True)
+        factor: dict[str, float] = dict.fromkeys(etc.machines, 1.0)
+        epoch: dict[str, int] = dict.fromkeys(etc.machines, 0)
+        #: (task, start, expected finish) of the task each machine runs.
+        current: dict[str, tuple[str, float, float] | None] = dict.fromkeys(
+            etc.machines
+        )
+        mapped_machine = {a.task: a.machine for a in mapping.assignments}
+        attempts: dict[str, int] = {}
+        last_failure: dict[str, float] = {}
+        stats = {
+            "failures": 0, "recoveries": 0, "slowdowns": 0,
+            "aborted": 0, "retries": 0, "requeues": 0,
+        }
+        dropped: list[str] = []
+
+        def try_start(machine: str) -> None:
+            if not up[machine] or current[machine] is not None:
+                return
+            queue = queues[machine]
+            if not queue:
+                return
+            task = queue.popleft()
+            start = sim.now
+            duration = etc.etc(task, machine) * factor[machine]
+            current[machine] = (task, start, start + duration)
+            if task in last_failure and tracer.enabled:
+                tracer.observe(
+                    "sim.requeue_latency", start - last_failure[task]
+                )
+            last_failure.pop(task, None)
+            sim.schedule(
+                duration, "task-finish", payload=(task, machine, start, epoch[machine])
+            )
+
+        def expected_completion(task: str, machine: str) -> float:
+            """Expected completion of ``task`` appended to ``machine``
+            now, from the machine's actual run/queue state."""
+            load = sim.now
+            run = current[machine]
+            if run is not None:
+                load = max(load, run[2])
+            for queued in queues[machine]:
+                load += etc.etc(queued, machine) * factor[machine]
+            return load + etc.etc(task, machine) * factor[machine]
+
+        def remap_target(task: str) -> str | None:
+            """Live machine with the earliest expected completion for
+            ``task`` (lowest index on ties); ``None`` if all are down."""
+            best: str | None = None
+            best_completion = np.inf
+            for machine in etc.machines:
+                if not up[machine]:
+                    continue
+                completion = expected_completion(task, machine)
+                if completion < best_completion:
+                    best, best_completion = machine, completion
+            return best
+
+        def enqueue(task: str, machine: str, *, front: bool = False) -> None:
+            stats["requeues"] += 1
+            if tracer.enabled:
+                tracer.count("sim.requeues")
+            if front:
+                queues[machine].appendleft(task)
+            else:
+                queues[machine].append(task)
+            try_start(machine)
+
+        def retry_or_drop(task: str, failed_at: float) -> None:
+            attempts[task] = attempts.get(task, 0) + 1
+            last_failure[task] = failed_at
+            if attempts[task] > self.retry_budget:
+                dropped.append(task)
+                if tracer.enabled:
+                    tracer.count("sim.dropped")
+                    tracer.event("sim.fault.drop", task=task, time=failed_at)
+                return
+            stats["retries"] += 1
+            delay = self.backoff_delay(attempts[task])
+            if tracer.enabled:
+                tracer.count("sim.retries")
+                tracer.event(
+                    "sim.fault.retry", task=task, attempt=attempts[task],
+                    delay=delay,
+                )
+            sim.schedule(delay, "task-retry", payload=task)
+
+        def on_machine_ready(event) -> None:
+            try_start(event.payload)
+
+        def on_task_finish(event) -> None:
+            task, machine, start, start_epoch = event.payload
+            if start_epoch != epoch[machine]:
+                return  # stale: the machine failed after this was scheduled
+            trace.add(
+                TaskExecution(task=task, machine=machine, start=start, finish=sim.now)
+            )
+            current[machine] = None
+            try_start(machine)
+
+        def on_machine_fail(event) -> None:
+            machine = event.payload.machine
+            if not up[machine]:
+                return
+            up[machine] = False
+            epoch[machine] += 1
+            stats["failures"] += 1
+            victim = current[machine]
+            current[machine] = None
+            if tracer.enabled:
+                tracer.count("sim.failures")
+                tracer.event(
+                    "sim.fault.fail", machine=machine, time=sim.now,
+                    running=victim[0] if victim else None,
+                    queued=len(queues[machine]),
+                )
+            if self.policy == "remap" and queues[machine]:
+                # Queued tasks never failed themselves: move them to live
+                # machines right away (they keep their retry budgets).
+                stranded = list(queues[machine])
+                queues[machine].clear()
+                for task in stranded:
+                    target = remap_target(task)
+                    if target is None:
+                        queues[machine].append(task)  # everyone is down; wait
+                    else:
+                        enqueue(task, target)
+            if victim is not None:
+                stats["aborted"] += 1
+                retry_or_drop(victim[0], sim.now)
+
+        def on_machine_recover(event) -> None:
+            machine = event.payload.machine
+            if up[machine]:
+                return
+            up[machine] = True
+            stats["recoveries"] += 1
+            if tracer.enabled:
+                tracer.count("sim.recoveries")
+                tracer.event("sim.fault.recover", machine=machine, time=sim.now)
+            try_start(machine)
+
+        def on_machine_slow(event) -> None:
+            machine = event.payload.machine
+            factor[machine] = event.payload.factor
+            stats["slowdowns"] += 1
+            if tracer.enabled:
+                tracer.count("sim.slowdowns")
+                tracer.event(
+                    "sim.fault.slow", machine=machine, time=sim.now,
+                    factor=event.payload.factor,
+                )
+
+        def on_machine_restore(event) -> None:
+            factor[event.payload.machine] = 1.0
+
+        def on_task_retry(event) -> None:
+            task = event.payload
+            if self.policy == "requeue":
+                enqueue(task, mapped_machine[task], front=True)
+                return
+            target = remap_target(task)
+            if target is None:
+                # Every machine is down: poll again after the base delay
+                # (no budget charge — the task did not fail again).
+                sim.schedule(self.backoff_base, "task-retry", payload=task)
+                return
+            enqueue(task, target)
+
+        sim.on("machine-ready", on_machine_ready)
+        sim.on("task-finish", on_task_finish)
+        sim.on("task-retry", on_task_retry)
+        sim.on("machine-fail", on_machine_fail)
+        sim.on("machine-recover", on_machine_recover)
+        sim.on("machine-slow", on_machine_slow)
+        sim.on("machine-restore", on_machine_restore)
+        for j, machine in enumerate(etc.machines):
+            sim.schedule_at(float(self._initial_ready[j]), "machine-ready", machine)
+        # Faults run at a lower priority than same-instant task finishes:
+        # a task completing exactly when its machine dies still counts.
+        for fault in self.plan.events:
+            sim.schedule_at(
+                fault.time, f"machine-{fault.kind}", payload=fault, priority=10
+            )
+        sim.run(
+            max_events=20 * (mapping.num_assigned + 1) * (self.retry_budget + 2)
+            + 4 * len(self.plan.events)
+            + 10_000
+        )
+        if len(trace) + len(dropped) != mapping.num_assigned:
+            raise SimulationError(
+                f"executed {len(trace)} + dropped {len(dropped)} tasks but the "
+                f"mapping holds {mapping.num_assigned}"
+            )
+        return FaultyExecution(
+            trace=trace,
+            plan=self.plan,
+            policy=self.policy,
+            failures=stats["failures"],
+            recoveries=stats["recoveries"],
+            slowdowns=stats["slowdowns"],
+            aborted=stats["aborted"],
+            retries=stats["retries"],
+            requeues=stats["requeues"],
+            dropped=tuple(dropped),
+        )
 
 
 # ----------------------------------------------------------------------

@@ -58,6 +58,43 @@ class TestCSV:
         assert load_csv(path) == sample
 
 
+class TestCSVLabelNormalisation:
+    def test_whitespace_labels_round_trip(self):
+        etc = ETCMatrix(
+            [[1.0, 2.0], [3.0, 4.0]],
+            tasks=(" a", "b "),
+            machines=("m0 ", " m1"),
+        )
+        parsed = from_csv(to_csv(etc))
+        assert parsed.tasks == ("a", "b")
+        assert parsed.machines == ("m0", "m1")
+        # A second round trip is the identity.
+        assert from_csv(to_csv(parsed)) == parsed
+
+    def test_hand_written_padding_is_stripped(self):
+        text = "task, m0 , m1\n t0 ,1.0,2.0\n"
+        etc = from_csv(text)
+        assert etc.machines == ("m0", "m1")
+        assert etc.tasks == ("t0",)
+
+    def test_duplicate_machine_after_strip_raises(self):
+        text = "task,m0,m0 \nt0,1.0,2.0\n"
+        with pytest.raises(ETCShapeError, match="duplicate machine label"):
+            from_csv(text)
+
+    def test_duplicate_task_after_strip_raises(self):
+        text = "task,m0,m1\nt0,1.0,2.0\n t0,3.0,4.0\n"
+        with pytest.raises(ETCShapeError, match="duplicate task label"):
+            from_csv(text)
+
+    def test_to_csv_rejects_labels_colliding_after_strip(self):
+        etc = ETCMatrix(
+            [[1.0], [2.0]], tasks=("t0", "t0 "), machines=("m0",)
+        )
+        with pytest.raises(ETCShapeError, match="duplicate task label"):
+            to_csv(etc)
+
+
 class TestJSON:
     def test_roundtrip_exact(self, sample):
         assert from_json(to_json(sample)) == sample

@@ -141,3 +141,73 @@ class TestSimulator:
         sim.schedule(0.0, "x", payload={"k": 1})
         sim.run()
         assert got == [{"k": 1}]
+
+
+class RecordingProgress:
+    """Captures advance/finish calls for progress-accounting tests."""
+
+    def __init__(self):
+        self.advances = []
+        self.finished = 0
+
+    def advance(self, current="", n=1):
+        self.advances.append(n)
+
+    def finish(self):
+        self.finished += 1
+
+
+class TestRunProgressAccounting:
+    @staticmethod
+    def _sim_with(n_events):
+        sim = Simulator()
+        sim.on("x", lambda e: None)
+        for i in range(n_events):
+            sim.schedule_at(float(i), "x")
+        return sim
+
+    def test_final_partial_batch_is_flushed(self):
+        progress = RecordingProgress()
+        self._sim_with(25).run(progress=progress, progress_every=10)
+        assert progress.advances == [10, 10, 5]
+        assert progress.finished == 1
+
+    def test_exact_multiple_has_no_extra_flush(self):
+        progress = RecordingProgress()
+        self._sim_with(20).run(progress=progress, progress_every=10)
+        assert progress.advances == [10, 10]
+        assert progress.finished == 1
+
+    def test_fewer_events_than_batch(self):
+        progress = RecordingProgress()
+        self._sim_with(3).run(progress=progress, progress_every=10)
+        assert progress.advances == [3]
+        assert progress.finished == 1
+
+    def test_empty_queue_still_finishes(self):
+        progress = RecordingProgress()
+        Simulator().run(progress=progress, progress_every=10)
+        assert progress.advances == []
+        assert progress.finished == 1
+
+    def test_total_equals_dispatched_even_on_handler_error(self):
+        sim = Simulator()
+        count = [0]
+
+        def handler(event):
+            count[0] += 1
+            if count[0] == 7:
+                raise RuntimeError("boom")
+
+        sim.on("x", handler)
+        for i in range(10):
+            sim.schedule_at(float(i), "x")
+        progress = RecordingProgress()
+        with pytest.raises(RuntimeError):
+            sim.run(progress=progress, progress_every=5)
+        assert sum(progress.advances) == 7
+        assert progress.finished == 1
+
+    def test_rejects_nonpositive_progress_every(self):
+        with pytest.raises(SimulationError):
+            Simulator().run(progress=RecordingProgress(), progress_every=0)

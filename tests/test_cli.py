@@ -144,6 +144,51 @@ class TestStudyCompareSimulate:
         assert main(["simulate", "--policy", "wishful"]) == 2
 
 
+class TestFaultCommands:
+    FAULT_ARGS = ["simulate", "--faults", "--tasks", "12", "--machines", "3",
+                  "--failures", "2", "--seed", "5"]
+
+    def test_simulate_faults_recovers(self, capsys):
+        assert main(self.FAULT_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "plan signature" in out
+        assert "tasks completed     : 12/12" in out
+
+    def test_simulate_faults_remap_policy(self, capsys):
+        assert main(self.FAULT_ARGS + ["--recovery", "remap"]) == 0
+        assert "recovery policy     : remap" in capsys.readouterr().out
+
+    def test_simulate_faults_ledger_records_plan_signature(
+        self, tmp_path, capsys
+    ):
+        ledger = tmp_path / "ledger.jsonl"
+        args = self.FAULT_ARGS + ["--append-ledger", "--ledger", str(ledger)]
+        assert main(args) == 0
+        assert main(args) == 0
+        from repro.obs.ledger import RunLedger
+
+        first, second = RunLedger(ledger).read()
+        assert first["command"] == "simulate-faults"
+        assert first["extra"]["plan_signature"] == (
+            second["extra"]["plan_signature"]
+        )
+        assert first["metrics"] == second["metrics"]
+        assert first["counters"]["sim.failures"] > 0
+
+    def test_study_faults_reports_both_mappings(self, capsys):
+        assert main(["study", "--faults", "--heuristics", "min-min",
+                     "--tasks", "10", "--machines", "3", "--instances", "2",
+                     "--failure-rates", "1e-6,5e-6,1e-5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("failure rate") == 3
+        assert "min-min/original" in out
+        assert "min-min/iterative" in out
+
+    def test_study_faults_bad_rates_is_clean_error(self, capsys):
+        assert main(["study", "--faults", "--failure-rates", "fast"]) == 2
+        assert "--failure-rates" in capsys.readouterr().err
+
+
 class TestPaper:
     def test_replays_all_examples(self, capsys):
         assert main(["paper"]) == 0
