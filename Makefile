@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint smoke-obs smoke-faults bench bench-smoke bench-baseline bench-pytest
+.PHONY: test lint smoke-obs smoke-faults smoke-runner bench bench-smoke bench-baseline bench-pytest
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -18,6 +18,7 @@ lint:
 		echo "ruff not found; running tools/lint_fallback.py"; \
 		$(PYTHON) tools/lint_fallback.py src tests benchmarks examples tools; \
 	fi
+	$(PYTHON) tools/check_docs.py
 
 # Observability smoke: the obs-marked battery (trace replays, tracer /
 # metrics / export units, tracing-purity properties) plus one CLI
@@ -35,6 +36,23 @@ smoke-faults:
 		tests/core/test_iterative_edges.py
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro simulate --faults \
 		--tasks 20 --machines 4 --failures 3 --recovery remap
+
+# Resumable-runner smoke: the runner test batteries (including the
+# kill-and-resume round trip) plus a tiny end-to-end CLI grid run that
+# populates a throwaway cell cache and then resumes fully from it
+# (see docs/runner.md).
+smoke-runner:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/analysis/test_runner.py tests/integration/test_runner_resume.py
+	rm -rf .smoke-runner-cells
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro run-grid \
+		--heuristics min-min,mct --tasks 10 --machines 4 --instances 2 \
+		--heterogeneities hihi,lolo --cache-dir .smoke-runner-cells
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro run-grid \
+		--heuristics min-min,mct --tasks 10 --machines 4 --instances 2 \
+		--heterogeneities hihi,lolo --cache-dir .smoke-runner-cells \
+		--resume | grep "2 cached"
+	rm -rf .smoke-runner-cells
 
 # Full benchmark harness: times the tracked 512x32 workloads (optimised
 # and retained reference kernels), writes BENCH_current.json, and fails

@@ -28,7 +28,15 @@ from repro.heuristics.base import get_heuristic
 from repro.obs.metrics import TIME_BUCKETS
 from repro.obs.tracer import get_tracer
 
-__all__ = ["ExperimentConfig", "RunRecord", "run_experiment", "stable_key"]
+__all__ = [
+    "ExperimentConfig",
+    "RunRecord",
+    "run_experiment",
+    "stable_key",
+    "config_to_dict",
+    "run_record_to_dict",
+    "run_record_from_dict",
+]
 
 #: Heuristics that accept an ``rng`` constructor argument.
 _STOCHASTIC = {"genitor", "random", "simulated-annealing", "tabu-search", "gsa"}
@@ -90,6 +98,101 @@ class RunRecord:
     @property
     def etc_class(self) -> str:
         return f"{self.heterogeneity.value}/{self.consistency.value}"
+
+
+def config_to_dict(config: ExperimentConfig) -> dict:
+    """Canonical JSON-able form of a config.
+
+    This is the cache/ledger identity of an experiment: it covers every
+    field that determines the records (seed, grid shape, heuristic and
+    iterative parameters) in a stable layout, so
+    ``config_hash(config_to_dict(c))`` (see :mod:`repro.obs.ledger`)
+    content-addresses the experiment across processes and machines.
+    ``heuristic_kwargs`` values must be JSON-able plain values — the
+    same constraint the parallel runner already imposes (picklable, no
+    live RNGs).
+    """
+    return {
+        "heuristics": list(config.heuristics),
+        "num_tasks": config.num_tasks,
+        "num_machines": config.num_machines,
+        "heterogeneities": [h.value for h in config.heterogeneities],
+        "consistencies": [c.value for c in config.consistencies],
+        "instances_per_cell": config.instances_per_cell,
+        "tie_policy": config.tie_policy,
+        "generation_method": config.generation_method,
+        "seeded_iterations": config.seeded_iterations,
+        "seed": config.seed,
+        "heuristic_kwargs": {
+            name: dict(kwargs)
+            for name, kwargs in sorted(config.heuristic_kwargs.items())
+        },
+    }
+
+
+def run_record_to_dict(record: RunRecord) -> dict:
+    """Lossless JSON-able form of one record (cell-cache entry rows).
+
+    Unlike :func:`repro.analysis.export.run_records_to_rows` (a
+    flattened view for external tooling), this keeps every per-machine
+    comparison so :func:`run_record_from_dict` can rebuild an *equal*
+    :class:`RunRecord` — floats round-trip exactly through JSON.
+    """
+    c = record.comparison
+    return {
+        "heuristic": record.heuristic,
+        "heterogeneity": record.heterogeneity.value,
+        "consistency": record.consistency.value,
+        "instance_index": record.instance_index,
+        "tie_policy": record.tie_policy,
+        "num_iterations": record.num_iterations,
+        "comparison": {
+            "heuristic": c.heuristic,
+            "original_makespan": float(c.original_makespan),
+            "final_makespan": float(c.final_makespan),
+            "makespan_increased": c.makespan_increased,
+            "mapping_changed": c.mapping_changed,
+            "machines": [
+                {
+                    "machine": m.machine,
+                    "original": float(m.original),
+                    "iterative": float(m.iterative),
+                }
+                for m in c.machines
+            ],
+        },
+    }
+
+
+def run_record_from_dict(payload: dict) -> RunRecord:
+    """Invert :func:`run_record_to_dict` (exact round trip)."""
+    from repro.core.metrics import MachineComparison
+
+    c = payload["comparison"]
+    comparison = IterativeComparison(
+        heuristic=c["heuristic"],
+        machines=tuple(
+            MachineComparison(
+                machine=m["machine"],
+                original=m["original"],
+                iterative=m["iterative"],
+            )
+            for m in c["machines"]
+        ),
+        original_makespan=c["original_makespan"],
+        final_makespan=c["final_makespan"],
+        makespan_increased=c["makespan_increased"],
+        mapping_changed=c["mapping_changed"],
+    )
+    return RunRecord(
+        heuristic=payload["heuristic"],
+        heterogeneity=Heterogeneity(payload["heterogeneity"]),
+        consistency=Consistency(payload["consistency"]),
+        instance_index=payload["instance_index"],
+        tie_policy=payload["tie_policy"],
+        comparison=comparison,
+        num_iterations=payload["num_iterations"],
+    )
 
 
 def run_experiment(config: ExperimentConfig) -> list[RunRecord]:

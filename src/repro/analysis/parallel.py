@@ -1,4 +1,4 @@
-"""Parallel experiment execution.
+"""Parallel experiment execution (compatibility surface).
 
 Experiment grids are embarrassingly parallel across (heterogeneity,
 consistency) cells: each cell owns an independent, stably-seeded RNG
@@ -6,10 +6,12 @@ stream (see :mod:`repro.analysis.experiments`), so cells can run in
 separate processes and the merged result is *bit-identical* to the
 serial run — the equivalence is asserted by the test suite.
 
-Use :func:`run_experiment_parallel` as a drop-in replacement for
-:func:`repro.analysis.experiments.run_experiment` on multi-core
-machines; speedup is roughly ``min(num_cells, workers)`` since cells
-dominate the cost.
+The execution engine lives in :mod:`repro.analysis.runner` (sharded
+work queue, on-disk cell cache, resume, timeouts and quarantine);
+:func:`run_experiment_parallel` is retained as the historical drop-in
+replacement for :func:`repro.analysis.experiments.run_experiment` with
+the legacy contract: no cache side effects, and a failing cell
+re-raises its original exception.
 
 Constraint: the config must be picklable — in particular, pass
 heuristic kwargs as plain values (ints, floats, strings), not live
@@ -28,27 +30,10 @@ same tracer (asserted by the property suite).
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor
 
-from repro.analysis.experiments import ExperimentConfig, RunRecord, run_experiment
-from repro.exceptions import ConfigurationError
-from repro.obs.progress import NULL_PROGRESS
-from repro.obs.tracer import CollectingTracer, ObsSnapshot, get_tracer, use_tracer
+from repro.analysis.experiments import ExperimentConfig, RunRecord
 
 __all__ = ["split_into_cells", "run_experiment_parallel"]
-
-
-def _cell_label(cell: ExperimentConfig) -> str:
-    return f"{cell.heterogeneities[0].value}/{cell.consistencies[0].value}"
-
-
-def _run_cell_observed(
-    config: ExperimentConfig,
-) -> tuple[list[RunRecord], ObsSnapshot]:
-    """Worker entry point: run one cell under a fresh collector."""
-    with use_tracer(CollectingTracer()) as tracer:
-        records = run_experiment(config)
-    return records, tracer.snapshot()
 
 
 def split_into_cells(config: ExperimentConfig) -> list[ExperimentConfig]:
@@ -56,7 +41,8 @@ def split_into_cells(config: ExperimentConfig) -> list[ExperimentConfig]:
 
     Because per-cell seed streams are keyed by the cell's own labels
     (not by grid position), each sub-config reproduces exactly the
-    records the full grid would produce for that cell.
+    records the full grid would produce for that cell.  An empty grid
+    (no heterogeneities or no consistencies) yields no cells.
     """
     return [
         dataclasses.replace(
@@ -78,39 +64,20 @@ def run_experiment_parallel(
     advanced once per completed (heterogeneity, consistency) cell.  It
     renders to its own stream and never touches the tracer, so the
     merged event stream stays byte-identical with progress on or off.
+
+    This is a thin wrapper over :func:`repro.analysis.runner.run_grid`
+    with caching disabled and ``on_error="raise"`` — existing callers
+    see exactly the pre-runner behaviour.  Use ``run_grid`` directly
+    for resumable, cached, quarantining execution.
     """
-    if max_workers is not None and max_workers < 1:
-        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
-    progress = progress if progress is not None else NULL_PROGRESS
-    cells = split_into_cells(config)
-    if progress.enabled:
-        progress.total = len(cells)
-    progress.start()
-    try:
-        if len(cells) == 1 or max_workers == 1:
-            # Serial fallback: runs under the caller's tracer directly.
-            records = []
-            for cell in cells:
-                records.extend(run_experiment(cell))
-                progress.advance(_cell_label(cell))
-            return records
-        tracer = get_tracer()
-        records = []
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            if not tracer.enabled:
-                for cell, cell_records in zip(cells, pool.map(run_experiment, cells)):
-                    records.extend(cell_records)
-                    progress.advance(_cell_label(cell))
-            else:
-                # pool.map yields results in submission (= cell) order, so
-                # merging here is deterministic regardless of which worker
-                # finished first.
-                for cell, (cell_records, snapshot) in zip(
-                    cells, pool.map(_run_cell_observed, cells)
-                ):
-                    records.extend(cell_records)
-                    tracer.merge_snapshot(snapshot)
-                    progress.advance(_cell_label(cell))
-        return records
-    finally:
-        progress.finish()
+    from repro.analysis.runner import run_grid
+
+    result = run_grid(
+        config,
+        max_workers=max_workers,
+        progress=progress,
+        cache_dir=None,
+        retries=0,
+        on_error="raise",
+    )
+    return list(result.records)

@@ -1,0 +1,652 @@
+"""Sharded, resumable experiment execution with on-disk result caching.
+
+The one-shot pool in :mod:`repro.analysis.parallel` recomputes every
+(heterogeneity, consistency) cell on every invocation and loses all
+completed work when a run is interrupted.  This module replaces that
+engine while keeping :func:`repro.analysis.parallel.run_experiment_parallel`
+as a thin compatible wrapper:
+
+* **Content-addressed cells.**  Every cell sub-config is hashed with
+  the run ledger's :func:`~repro.obs.ledger.config_hash` scheme
+  (SHA-256 over the canonical JSON of the ETC-instance seed, heuristic
+  configuration and iterative parameters), so a cell's cache key is
+  stable across processes, machines and grid shapes — the same cell in
+  a bigger grid hits the same cache entry.
+* **Persist-as-you-go.**  Completed cell results are written to an
+  on-disk cache (default ``.repro/cells/``) the moment they finish,
+  atomically (write-temp + rename), so a killed or crashed run leaves
+  only whole cell entries behind.  Re-running with ``resume=True``
+  serves those cells from cache and computes only the remainder;
+  cached records are byte-identical to recomputed ones (asserted by
+  the integration suite).
+* **Work-stealing shard queue.**  The uncached cells are partitioned
+  round-robin into shards (:func:`split_into_shards`) and submitted
+  shard-interleaved to the process pool, whose shared queue lets idle
+  workers steal the next cell — heterogeneous cell costs cannot strand
+  a worker on a long tail.
+* **Timeouts and quarantine.**  A per-cell wall-clock timeout (pooled
+  mode) and bounded retries turn a pathological cell into a *poisoned*
+  cell — recorded in the cache as ``<key>.poison.json`` and skipped on
+  resume — instead of hanging the whole grid.
+* **Observability.**  The runner counts ``runner.cells.cached`` /
+  ``runner.cells.computed`` / ``runner.cells.retried`` /
+  ``runner.cells.quarantined`` and fills the ``runner.cell_wall_s``
+  histogram on the caller's tracer; per-cell worker snapshots merge in
+  cell order exactly like the old engine, so traced grid runs stay
+  deterministic.  Cached cells store their worker snapshot in the
+  cache (JSONL-export schema), so a resumed run under a tracer merges
+  the same per-cell event streams a fresh run would produce (modulo
+  JSON's tuple/list conflation in event fields — the documented export
+  round-trip contract).
+
+Typical use::
+
+    from repro.analysis.runner import run_grid
+
+    result = run_grid(config, cache_dir=".repro/cells", resume=True)
+    result.records          # one RunRecord per (heuristic, instance), grid order
+    result.cached_cells     # how many cells were served from cache
+
+The ``repro run-grid`` CLI subcommand wraps this engine end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    RunRecord,
+    config_to_dict,
+    run_experiment,
+    run_record_from_dict,
+    run_record_to_dict,
+)
+from repro.analysis.parallel import split_into_cells
+from repro.exceptions import ConfigurationError, ReproError
+from repro.obs.metrics import TIME_BUCKETS
+from repro.obs.progress import NULL_PROGRESS
+from repro.obs.tracer import (
+    CollectingTracer,
+    ObsSnapshot,
+    get_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CELL_SCHEMA",
+    "POISON_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "cell_key",
+    "cell_label",
+    "split_into_shards",
+    "CellCache",
+    "CellTimeoutError",
+    "QuarantinedCell",
+    "GridResult",
+    "run_grid",
+]
+
+#: Cache entry format identifier; bump when the JSON layout changes.
+CELL_SCHEMA = "repro-cell/1"
+
+#: Poison marker format identifier.
+POISON_SCHEMA = "repro-cell-poison/1"
+
+#: Default cell cache location, next to the run ledger under ``.repro/``.
+DEFAULT_CACHE_DIR = ".repro/cells"
+
+#: Default bounded-retry budget per cell before it is quarantined.
+DEFAULT_RETRIES = 1
+
+
+class CellTimeoutError(ReproError):
+    """A cell exceeded its per-cell wall-clock timeout."""
+
+
+def cell_key(config: ExperimentConfig) -> str:
+    """Content address of one cell: the ledger's SHA-256 config hash.
+
+    The hash covers everything that determines the cell's records —
+    the ETC-instance seed, grid shape, heuristic configuration and
+    iterative parameters — and nothing that does not (worker counts,
+    shard counts, cache paths), so re-running the same science always
+    hits the same entry.
+    """
+    from repro.obs.ledger import config_hash
+
+    return config_hash(config_to_dict(config))
+
+
+def cell_label(config: ExperimentConfig) -> str:
+    """Human label ``het/cons`` of a single-cell sub-config."""
+    return (
+        f"{config.heterogeneities[0].value}/{config.consistencies[0].value}"
+        if config.heterogeneities and config.consistencies
+        else "?"
+    )
+
+
+def split_into_shards(cells: list, num_shards: int) -> list[list]:
+    """Round-robin partition of ``cells`` into at most ``num_shards``
+    shards.
+
+    Adjacent grid cells often share costs (same heterogeneity class),
+    so the round-robin stride spreads expensive neighbourhoods across
+    shards.  Never returns empty shards: with ``num_shards >
+    len(cells)`` every shard is a singleton, and an empty grid yields
+    no shards at all.
+    """
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    effective = min(num_shards, len(cells))
+    return [cells[i::effective] for i in range(effective)]
+
+
+# ----------------------------------------------------------------------
+# On-disk cell cache
+# ----------------------------------------------------------------------
+def _snapshot_to_records(snapshot: ObsSnapshot) -> list[dict]:
+    """Snapshot → parsed JSONL-export records (the cacheable form)."""
+    from repro.obs.export import snapshot_to_jsonl
+
+    return [
+        json.loads(line)
+        for line in snapshot_to_jsonl(snapshot).splitlines()
+        if line
+    ]
+
+
+def _records_to_snapshot(records: list[dict]) -> ObsSnapshot:
+    from repro.obs.export import records_to_snapshot
+
+    return records_to_snapshot(records)
+
+
+@dataclass(frozen=True)
+class CellEntry:
+    """One deserialised cache hit."""
+
+    key: str
+    records: tuple[RunRecord, ...]
+    snapshot: ObsSnapshot | None
+
+
+class CellCache:
+    """Content-addressed cell store under one directory.
+
+    Entries are ``<key>.json`` (``repro-cell/1``); quarantined cells
+    leave a ``<key>.poison.json`` marker instead.  All writes are
+    atomic (temp file + ``os.replace``), so an interrupted run can
+    never leave a torn entry for ``resume`` to trip over.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def poison_path_for(self, key: str) -> Path:
+        return self.root / f"{key}.poison.json"
+
+    def _atomic_write(self, path: Path, payload: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def store(
+        self,
+        key: str,
+        config: ExperimentConfig,
+        records: list[RunRecord],
+        snapshot: ObsSnapshot | None,
+    ) -> Path:
+        """Persist one completed cell; returns the entry path."""
+        payload = {
+            "schema": CELL_SCHEMA,
+            "key": key,
+            "config": config_to_dict(config),
+            "records": [run_record_to_dict(r) for r in records],
+            "obs": _snapshot_to_records(snapshot) if snapshot is not None else None,
+        }
+        path = self.path_for(key)
+        self._atomic_write(path, payload)
+        return path
+
+    def load(self, key: str, *, need_obs: bool = False) -> CellEntry | None:
+        """The cached entry for ``key``, or ``None`` on a miss.
+
+        ``need_obs=True`` (a tracer is installed) additionally treats
+        entries cached from an *untraced* run as misses, since they
+        cannot replay the cell's event stream.
+        """
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError) as exc:
+            raise ConfigurationError(
+                f"unreadable cell cache entry {path} ({exc}); delete it to recompute"
+            ) from None
+        if payload.get("schema") != CELL_SCHEMA or payload.get("key") != key:
+            raise ConfigurationError(
+                f"{path}: not a {CELL_SCHEMA} entry for key {key[:12]}…; "
+                "delete it to recompute"
+            )
+        obs = payload.get("obs")
+        if need_obs and obs is None:
+            return None
+        return CellEntry(
+            key=key,
+            records=tuple(run_record_from_dict(d) for d in payload["records"]),
+            snapshot=_records_to_snapshot(obs) if obs is not None else None,
+        )
+
+    def poison(self, key: str, config: ExperimentConfig, error: str, attempts: int) -> Path:
+        """Mark a cell quarantined so ``resume`` skips it."""
+        path = self.poison_path_for(key)
+        self._atomic_write(
+            path,
+            {
+                "schema": POISON_SCHEMA,
+                "key": key,
+                "config": config_to_dict(config),
+                "error": error,
+                "attempts": attempts,
+            },
+        )
+        return path
+
+    def is_poisoned(self, key: str) -> bool:
+        return self.poison_path_for(key).is_file()
+
+    def clear_poison(self, key: str) -> None:
+        try:
+            self.poison_path_for(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def keys(self) -> list[str]:
+        """All cached (non-poison) cell keys, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.stem
+            for p in self.root.glob("*.json")
+            if not p.name.endswith(".poison.json")
+        )
+
+    def __repr__(self) -> str:
+        return f"CellCache({str(self.root)!r})"
+
+
+# ----------------------------------------------------------------------
+# The grid engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """One cell the grid gave up on (timeout or repeated failure)."""
+
+    label: str
+    key: str
+    error: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of one :func:`run_grid` invocation."""
+
+    records: tuple[RunRecord, ...]
+    total_cells: int
+    cached_cells: int
+    computed_cells: int
+    retried: int
+    quarantined: tuple[QuarantinedCell, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+
+def _compute_cell(
+    cell_fn: Callable[[ExperimentConfig], list[RunRecord]],
+    config: ExperimentConfig,
+    observed: bool,
+) -> tuple[list[RunRecord], ObsSnapshot | None]:
+    """Run one cell, optionally under a fresh isolated collector.
+
+    This is the worker entry point (must stay module-level picklable);
+    the serial cached path reuses it in-process so cache entries carry
+    the same isolated snapshots either way.
+    """
+    if observed:
+        with use_tracer(CollectingTracer()) as tracer:
+            records = cell_fn(config)
+        return records, tracer.snapshot()
+    return cell_fn(config), None
+
+
+@dataclass
+class _CellWork:
+    index: int
+    config: ExperimentConfig
+    key: str
+    attempts: int = 0
+    submitted_at: float = 0.0
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        self.label = cell_label(self.config)
+
+
+def run_grid(
+    config: ExperimentConfig,
+    *,
+    max_workers: int | None = None,
+    progress=None,
+    cache_dir: str | Path | None = None,
+    resume: bool = False,
+    shards: int | None = None,
+    timeout_s: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    on_error: str = "quarantine",
+    cell_fn: Callable[[ExperimentConfig], list[RunRecord]] = run_experiment,
+) -> GridResult:
+    """Execute an experiment grid cell-by-cell, resumably.
+
+    Records come back in grid (cell) order regardless of completion
+    order, so the output is bit-identical to a serial
+    :func:`~repro.analysis.experiments.run_experiment` run.
+
+    ``cache_dir=None`` disables persistence entirely (the legacy
+    one-shot behaviour); with a cache directory, every completed cell
+    is persisted as it finishes and ``resume=True`` serves previously
+    completed cells from cache.  ``shards`` controls the round-robin
+    interleaving of the submission queue (default: one shard per
+    cell).  ``timeout_s`` bounds each cell attempt's wall clock in
+    pooled mode (serial runs cannot be interrupted and ignore it).
+    ``retries`` bounds re-attempts after a failure or timeout; what
+    happens when the budget is exhausted depends on ``on_error``:
+
+    * ``"quarantine"`` (default) — poison the cell (when a cache is
+      configured), continue with the rest of the grid, and report it
+      in :attr:`GridResult.quarantined`;
+    * ``"raise"`` — re-raise the cell's original exception, matching
+      the legacy ``run_experiment_parallel`` contract.
+
+    ``cell_fn`` is the per-cell executor (tests inject failing or
+    sleeping stand-ins; it must stay picklable for pooled runs).
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+    if on_error not in ("quarantine", "raise"):
+        raise ConfigurationError(
+            f"on_error must be 'quarantine' or 'raise', got {on_error!r}"
+        )
+
+    progress = progress if progress is not None else NULL_PROGRESS
+    tracer = get_tracer()
+    cache = CellCache(cache_dir) if cache_dir is not None else None
+    # The legacy wrapper (no cache) promises byte-identical traced
+    # output vs a serial run, so runner.* counters/histograms are only
+    # emitted when the cache-backed engine is in use.
+    count_obs = tracer.enabled and cache is not None
+    cells = split_into_cells(config)
+    keys = [cell_key(cell) for cell in cells]
+
+    if progress.enabled:
+        progress.total = len(cells)
+    progress.start()
+
+    results: dict[int, tuple[list[RunRecord], ObsSnapshot | None]] = {}
+    quarantined: list[QuarantinedCell] = []
+    cached_cells = 0
+    retried = 0
+
+    # ------------------------------------------------------------------
+    # Phase 1: serve cached / skip poisoned cells.
+    # ------------------------------------------------------------------
+    pending: list[_CellWork] = []
+    for index, (cell, key) in enumerate(zip(cells, keys)):
+        if cache is not None and resume:
+            if cache.is_poisoned(key):
+                quarantined.append(
+                    QuarantinedCell(
+                        label=cell_label(cell),
+                        key=key,
+                        error="previously quarantined (poison marker on disk)",
+                        attempts=0,
+                    )
+                )
+                if count_obs:
+                    tracer.count("runner.cells.quarantined")
+                progress.advance(f"{cell_label(cell)} (quarantined)")
+                continue
+            entry = cache.load(key, need_obs=tracer.enabled)
+            if entry is not None:
+                results[index] = (list(entry.records), entry.snapshot)
+                cached_cells += 1
+                if count_obs:
+                    tracer.count("runner.cells.cached")
+                progress.advance(f"{cell_label(cell)} (cached)")
+                continue
+        pending.append(_CellWork(index=index, config=cell, key=key))
+
+    # ------------------------------------------------------------------
+    # Phase 2: compute the remainder (serial or pooled).
+    # ------------------------------------------------------------------
+    def persist_and_record(
+        work: _CellWork,
+        records: list[RunRecord],
+        snapshot: ObsSnapshot | None,
+        wall_s: float,
+    ) -> None:
+        if cache is not None:
+            cache.store(work.key, work.config, records, snapshot)
+        results[work.index] = (records, snapshot)
+        if count_obs:
+            tracer.count("runner.cells.computed")
+            tracer.observe("runner.cell_wall_s", wall_s, buckets=TIME_BUCKETS)
+        progress.advance(work.label)
+
+    def give_up(work: _CellWork, exc: BaseException) -> None:
+        if on_error == "raise":
+            raise exc
+        if cache is not None:
+            cache.poison(work.key, work.config, repr(exc), work.attempts)
+        quarantined.append(
+            QuarantinedCell(
+                label=work.label,
+                key=work.key,
+                error=repr(exc),
+                attempts=work.attempts,
+            )
+        )
+        if count_obs:
+            tracer.count("runner.cells.quarantined")
+        progress.advance(f"{work.label} (quarantined)")
+
+    try:
+        serial = len(pending) <= 1 or max_workers == 1
+        if serial:
+            # Isolate per-cell collection only when the cache needs a
+            # snapshot to persist; otherwise run under the caller's
+            # tracer directly, exactly like the legacy serial path.
+            isolate = cache is not None and tracer.enabled
+            for work in pending:
+                while True:
+                    started = time.perf_counter()
+                    try:
+                        if isolate:
+                            records, snapshot = _compute_cell(
+                                cell_fn, work.config, observed=True
+                            )
+                        else:
+                            records, snapshot = cell_fn(work.config), None
+                    except Exception as exc:
+                        work.attempts += 1
+                        if work.attempts <= retries:
+                            retried += 1
+                            if count_obs:
+                                tracer.count("runner.cells.retried")
+                            continue
+                        give_up(work, exc)
+                        break
+                    persist_and_record(
+                        work, records, snapshot, time.perf_counter() - started
+                    )
+                    break
+        else:
+            retried += _run_pooled(
+                pending,
+                cell_fn=cell_fn,
+                max_workers=max_workers,
+                shards=shards,
+                timeout_s=timeout_s,
+                retries=retries,
+                observed=tracer.enabled,
+                persist_and_record=persist_and_record,
+                give_up=give_up,
+                tracer=tracer,
+                count_obs=count_obs,
+            )
+    finally:
+        progress.finish()
+
+    # Merge every isolated snapshot (cached or freshly computed) in
+    # cell order, so the caller's traced stream is independent of
+    # completion order and of the cache hit pattern.
+    if tracer.enabled:
+        for index in sorted(results):
+            snapshot = results[index][1]
+            if snapshot is not None:
+                tracer.merge_snapshot(snapshot)
+
+    records: list[RunRecord] = []
+    for index in range(len(cells)):
+        if index in results:
+            records.extend(results[index][0])
+    return GridResult(
+        records=tuple(records),
+        total_cells=len(cells),
+        cached_cells=cached_cells,
+        computed_cells=len(results) - cached_cells,
+        retried=retried,
+        quarantined=tuple(quarantined),
+    )
+
+
+def _run_pooled(
+    pending: list[_CellWork],
+    *,
+    cell_fn,
+    max_workers: int | None,
+    shards: int | None,
+    timeout_s: float | None,
+    retries: int,
+    observed: bool,
+    persist_and_record,
+    give_up,
+    tracer,
+    count_obs: bool,
+) -> int:
+    """Drive the process pool: shard-interleaved submission, completion-
+    order persistence, parent-side timeouts, bounded retries.
+
+    Returns the retry count.  Snapshots are *not* merged here — the
+    caller merges every snapshot in cell order afterwards so traced
+    output stays deterministic.
+    """
+    num_shards = shards if shards is not None else len(pending)
+    order = [work for shard in split_into_shards(pending, num_shards) for work in shard]
+    retried = 0
+    abandoned_timeouts = False
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        in_flight: dict = {}
+
+        def submit(work: _CellWork) -> None:
+            work.submitted_at = time.perf_counter()
+            future = pool.submit(_compute_cell, cell_fn, work.config, observed)
+            in_flight[future] = work
+
+        for work in order:
+            submit(work)
+
+        while in_flight:
+            tick = None
+            if timeout_s is not None:
+                tick = max(0.01, min(timeout_s / 4.0, 1.0))
+            done, _ = wait(set(in_flight), timeout=tick, return_when=FIRST_COMPLETED)
+            now = time.perf_counter()
+
+            for future in done:
+                work = in_flight.pop(future)
+                try:
+                    cell_records, snapshot = future.result()
+                except Exception as exc:
+                    work.attempts += 1
+                    if work.attempts <= retries:
+                        retried += 1
+                        if count_obs:
+                            tracer.count("runner.cells.retried")
+                        submit(work)
+                    else:
+                        give_up(work, exc)
+                    continue
+                persist_and_record(
+                    work, cell_records, snapshot, now - work.submitted_at
+                )
+
+            if timeout_s is None:
+                continue
+            for future, work in list(in_flight.items()):
+                if now - work.submitted_at <= timeout_s:
+                    continue
+                # A running cell cannot be cancelled; abandon the future
+                # (its eventual result is discarded) and either retry on
+                # a free worker or quarantine the cell.
+                del in_flight[future]
+                future.cancel()
+                abandoned_timeouts = True
+                work.attempts += 1
+                error = CellTimeoutError(
+                    f"cell {work.label} exceeded the {timeout_s:g}s timeout "
+                    f"(attempt {work.attempts})"
+                )
+                if work.attempts <= retries:
+                    retried += 1
+                    if count_obs:
+                        tracer.count("runner.cells.retried")
+                    submit(work)
+                else:
+                    give_up(work, error)
+    finally:
+        # Abandoned workers may still be crunching a timed-out cell;
+        # don't block the parent on them.
+        pool.shutdown(wait=not abandoned_timeouts, cancel_futures=True)
+    return retried

@@ -111,8 +111,17 @@ def improvement_study(
     seeded_iterations: bool = False,
     seed: int = 0,
     heuristic_kwargs=None,
+    run_fn=run_experiment,
 ) -> list[ImprovementRow]:
-    """Run E23: the per-heuristic iterative-improvement statistics."""
+    """Run E23: the per-heuristic iterative-improvement statistics.
+
+    ``run_fn`` maps an :class:`ExperimentConfig` to its records; the
+    default is the serial :func:`~repro.analysis.experiments.run_experiment`.
+    The CLI routes this through the cached runner
+    (:func:`~repro.analysis.runner.run_grid`) when ``--cache-dir`` /
+    ``--resume`` are given — the records are identical either way, only
+    execution and caching differ.
+    """
     rows: list[ImprovementRow] = []
     for policy in tie_policies:
         config = ExperimentConfig(
@@ -127,7 +136,7 @@ def improvement_study(
             seed=seed,
             heuristic_kwargs=heuristic_kwargs or {},
         )
-        rows.extend(_aggregate(run_experiment(config)))
+        rows.extend(_aggregate(list(run_fn(config))))
     return rows
 
 

@@ -148,6 +148,46 @@ def _experiment_workload(smoke: bool):
     return run, None
 
 
+def _cached_grid_workload(smoke: bool):
+    """Cached re-run through the resumable runner vs full recompute.
+
+    ``build`` pre-populates a throwaway cell cache once; the optimised
+    thunk then resumes from it (every cell a cache hit), while the
+    reference thunk recomputes the same grid uncached.  The speedup
+    column is the direct measure of the runner's near-zero recompute
+    cost on a warm cache.
+    """
+    import atexit
+    import shutil
+    import tempfile
+
+    from repro.analysis.experiments import ExperimentConfig
+    from repro.analysis.runner import run_grid
+    from repro.etc.generation import Heterogeneity
+
+    config = ExperimentConfig(
+        heuristics=("min-min", "mct"),
+        num_tasks=12 if smoke else 32,
+        num_machines=4 if smoke else 8,
+        heterogeneities=(Heterogeneity.HIHI, Heterogeneity.LOLO),
+        instances_per_cell=1 if smoke else 2,
+        seed=_ETC_SEED,
+    )
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cells-")
+    run_grid(config, max_workers=1, cache_dir=cache_dir)
+    atexit.register(shutil.rmtree, cache_dir, ignore_errors=True)
+
+    def run():
+        return run_grid(
+            config, max_workers=1, cache_dir=cache_dir, resume=True
+        )
+
+    def run_reference():
+        return run_grid(config, max_workers=1, cache_dir=None)
+
+    return run, run_reference
+
+
 def _make_minmin(**kwargs):
     from repro.heuristics.minmin import MinMin
 
@@ -202,6 +242,12 @@ WORKLOADS: tuple[Workload, ...] = (
         "experiment-grid-small",
         "Serial experiment grid (3 heuristics, no reference variant)",
         _experiment_workload,
+    ),
+    Workload(
+        "runner-cached-grid",
+        "Warm-cache resume via run_grid vs uncached recompute (the "
+        "reference variant)",
+        _cached_grid_workload,
     ),
 )
 

@@ -10,6 +10,7 @@ Usage (after install)::
     python -m repro simulate --tasks 100 --machines 8 --policy mct
     python -m repro simulate --faults --failures 3 --recovery remap
     python -m repro study    --faults --heuristics min-min --instances 5
+    python -m repro run-grid --heterogeneities hihi,lolo --resume
     python -m repro trace    --example min-min
     python -m repro bench    --baseline BENCH_baseline.json --append-ledger
     python -m repro obs      tail
@@ -19,9 +20,12 @@ Usage (after install)::
 
 Every subcommand accepts ``--seed`` and is fully reproducible.  The
 result-producing subcommands (``bench``, ``study``, ``compare``,
-``export``, ``report``) accept ``--append-ledger`` to append one
-fingerprinted ``repro-ledger/1`` record to the run ledger (default
-``.repro/ledger.jsonl``), which the ``obs`` family inspects.
+``export``, ``run-grid``, ``report``) accept ``--append-ledger`` to
+append one fingerprinted ``repro-ledger/1`` record to the run ledger
+(default ``.repro/ledger.jsonl``; relocatable with ``--ledger-path``),
+which the ``obs`` family inspects.  ``run-grid`` (and ``study`` /
+``export`` under ``--cache-dir`` / ``--resume``) executes through the
+resumable cached runner (see :mod:`repro.analysis.runner`).
 """
 
 from __future__ import annotations
@@ -131,6 +135,37 @@ def _maybe_collect(enabled: bool):
     return use_tracer(CollectingTracer()) if enabled else nullcontext(None)
 
 
+def _runner_run_fn(args: argparse.Namespace):
+    """The per-config executor for study/export: cached runner or ``None``.
+
+    Returns ``None`` when no runner option was given, so callers keep
+    the exact legacy execution path; otherwise a ``config -> records``
+    callable routed through :func:`repro.analysis.runner.run_grid`
+    with the requested cache/resume/shard settings (``--resume`` alone
+    implies the default cache directory).
+    """
+    if args.cache_dir is None and not args.resume and args.shards is None:
+        return None
+    from repro.analysis.runner import DEFAULT_CACHE_DIR, run_grid
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else (
+        DEFAULT_CACHE_DIR if args.resume else None
+    )
+
+    def run_fn(config):
+        result = run_grid(
+            config,
+            max_workers=getattr(args, "workers", None),
+            cache_dir=cache_dir,
+            resume=args.resume,
+            shards=args.shards,
+            on_error="raise",
+        )
+        return list(result.records)
+
+    return run_fn
+
+
 # ----------------------------------------------------------------------
 # subcommand implementations
 # ----------------------------------------------------------------------
@@ -202,6 +237,8 @@ def cmd_study(args: argparse.Namespace) -> int:
     if args.faults:
         return _cmd_study_faults(args)
     started = time.perf_counter()
+    run_fn = _runner_run_fn(args)
+    study_kwargs = {"run_fn": run_fn} if run_fn is not None else {}
     with _maybe_collect(args.append_ledger) as tracer:
         rows = improvement_study(
             heuristics=tuple(args.heuristics.split(",")),
@@ -213,6 +250,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             tie_policies=tuple(args.ties.split(",")),
             seeded_iterations=args.seeded,
             seed=args.seed,
+            **study_kwargs,
         )
     print(format_improvement_table(rows))
     if args.append_ledger:
@@ -556,12 +594,16 @@ def cmd_export(args: argparse.Namespace) -> int:
         seeded_iterations=args.seeded,
         seed=args.seed,
     )
+    run_fn = _runner_run_fn(args)
     with _maybe_collect(args.append_ledger) as tracer:
-        records = run_experiment_parallel(
-            config,
-            max_workers=args.workers,
-            progress=make_progress(args.progress, label="cells"),
-        )
+        if run_fn is not None:
+            records = run_fn(config)
+        else:
+            records = run_experiment_parallel(
+                config,
+                max_workers=args.workers,
+                progress=make_progress(args.progress, label="cells"),
+            )
     rows = run_records_to_rows(records)
     if args.output.endswith(".json"):
         write_json(rows, args.output)
@@ -606,6 +648,116 @@ def cmd_export(args: argparse.Namespace) -> int:
             counters=tracer.counters.as_dict() if tracer is not None else None,
         )
     return 0
+
+
+def cmd_run_grid(args: argparse.Namespace) -> int:
+    """Execute a full experiment grid through the resumable cached runner."""
+    from repro.analysis.experiments import ExperimentConfig
+    from repro.analysis.export import run_records_to_rows, write_csv, write_json
+    from repro.analysis.runner import run_grid
+    from repro.obs.progress import make_progress
+
+    if args.no_cache and args.resume:
+        print("error: --resume needs the cell cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    config = ExperimentConfig(
+        heuristics=tuple(args.heuristics.split(",")),
+        num_tasks=args.tasks,
+        num_machines=args.machines,
+        heterogeneities=tuple(
+            _heterogeneity(h) for h in args.heterogeneities.split(",")
+        ),
+        consistencies=tuple(
+            _consistency(c) for c in args.consistencies.split(",")
+        ),
+        instances_per_cell=args.instances,
+        tie_policy=args.ties,
+        seeded_iterations=args.seeded,
+        seed=args.seed,
+    )
+    cache_dir = None if args.no_cache else args.cache_dir
+    with _maybe_collect(args.append_ledger) as tracer:
+        result = run_grid(
+            config,
+            max_workers=args.workers,
+            progress=make_progress(args.progress, label="cells"),
+            cache_dir=cache_dir,
+            resume=args.resume,
+            shards=args.shards,
+            timeout_s=args.timeout,
+            retries=args.retries,
+        )
+    print(f"grid: {result.total_cells} cell(s) — "
+          f"{result.cached_cells} cached, {result.computed_cells} computed, "
+          f"{result.retried} retried, {len(result.quarantined)} quarantined; "
+          f"{len(result.records)} records")
+    for q in result.quarantined:
+        print(f"quarantined: {q.label} [{q.key[:12]}] after "
+              f"{q.attempts} attempt(s): {q.error}", file=sys.stderr)
+    if args.output:
+        rows = run_records_to_rows(list(result.records))
+        if args.output.endswith(".json"):
+            write_json(rows, args.output)
+        else:
+            write_csv(rows, args.output)
+        print(f"wrote {len(rows)} run records to {args.output}")
+    if args.append_ledger:
+        import numpy as np
+
+        from repro.obs.ledger import histogram_summaries
+
+        comparisons = [r.comparison for r in result.records]
+        metrics = {
+            "cells_total": result.total_cells,
+            "cells_cached": result.cached_cells,
+            "cells_computed": result.computed_cells,
+            "cells_retried": result.retried,
+            "cells_quarantined": len(result.quarantined),
+            "runs": len(result.records),
+        }
+        if comparisons:
+            metrics["original_makespan_mean"] = float(
+                np.mean([c.original_makespan for c in comparisons])
+            )
+            metrics["final_makespan_mean"] = float(
+                np.mean([c.final_makespan for c in comparisons])
+            )
+            metrics["makespan_increase_rate"] = float(
+                np.mean([c.makespan_increased for c in comparisons])
+            )
+            metrics["non_makespan_improvement_mean"] = float(
+                np.mean([c.mean_delta for c in comparisons])
+            )
+        extra = None
+        if tracer is not None:
+            extra = {
+                "histograms": histogram_summaries(tracer.histograms.as_dict())
+            }
+        _ledger_append(
+            args,
+            "run-grid",
+            started=started,
+            config={
+                "heuristics": args.heuristics,
+                "tasks": args.tasks,
+                "machines": args.machines,
+                "instances": args.instances,
+                "heterogeneities": args.heterogeneities,
+                "consistencies": args.consistencies,
+                "ties": args.ties,
+                "seeded": args.seeded,
+                "workers": args.workers,
+                "shards": args.shards,
+                "cache_dir": cache_dir,
+                "resume": args.resume,
+            },
+            metrics=metrics,
+            counters=tracer.counters.as_dict() if tracer is not None else None,
+            extra=extra,
+        )
+    return 0 if result.ok else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -867,11 +1019,20 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
 # parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    from repro.analysis.runner import DEFAULT_CACHE_DIR
     from repro.obs.ledger import DEFAULT_LEDGER_PATH
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Iterative non-makespan minimisation (IPPS/HCW 2007) toolkit",
+        epilog=(
+            "Result-producing subcommands accept --append-ledger to record "
+            f"the run in the ledger (default: {DEFAULT_LEDGER_PATH}; "
+            "relocate it with --ledger-path/--ledger, also honoured by "
+            "`repro obs`).  `repro run-grid` — and study/export under "
+            "--cache-dir/--resume — persists completed grid cells to "
+            ".repro/cells so interrupted runs resume without recomputing."
+        ),
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -891,8 +1052,21 @@ def build_parser() -> argparse.ArgumentParser:
     def add_ledger(p):
         p.add_argument("--append-ledger", action="store_true",
                        help="append a repro-ledger/1 record to the run ledger")
-        p.add_argument("--ledger", default=DEFAULT_LEDGER_PATH,
+        p.add_argument("--ledger", "--ledger-path", dest="ledger",
+                       default=DEFAULT_LEDGER_PATH,
                        help="run ledger path (default: %(default)s)")
+
+    def add_runner(p):
+        p.add_argument("--cache-dir", default=None,
+                       help="cell cache directory; enables persist-as-you-go "
+                            "execution through the resumable runner "
+                            "(--resume alone defaults it to .repro/cells)")
+        p.add_argument("--resume", action="store_true",
+                       help="serve already-completed cells from the cache "
+                            "instead of recomputing them")
+        p.add_argument("--shards", type=int, default=None,
+                       help="round-robin submission shards for the work "
+                            "queue (default: one per cell)")
 
     def add_faults(p):
         from repro.sim.hcsystem import RECOVERY_POLICIES
@@ -954,6 +1128,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_faults(s)
     add_common(s)
     add_ledger(s)
+    add_runner(s)
     s.set_defaults(func=cmd_study)
 
     c = sub.add_parser("compare", help="cross-heuristic makespan comparison (E24)")
@@ -1020,7 +1195,44 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("-o", "--output", required=True, help="CSV/JSON path")
     add_common(e)
     add_ledger(e)
+    add_runner(e)
     e.set_defaults(func=cmd_export)
+
+    rg = sub.add_parser(
+        "run-grid",
+        help="run a multi-class grid through the resumable cached runner",
+    )
+    rg.add_argument("--heuristics", default="min-min,mct,met,sufferage")
+    rg.add_argument("--tasks", type=int, default=30)
+    rg.add_argument("--machines", type=int, default=8)
+    rg.add_argument("--instances", type=int, default=20)
+    rg.add_argument("--heterogeneities", default="hihi,lolo",
+                    help="comma list: hihi,hilo,lohi,lolo")
+    rg.add_argument("--consistencies", default="inconsistent",
+                    help="comma list: consistent,semi-consistent,inconsistent")
+    rg.add_argument("--ties", choices=["deterministic", "random"],
+                    default="deterministic")
+    rg.add_argument("--seeded", action="store_true")
+    rg.add_argument("--workers", type=int, default=None,
+                    help="process count for pooled execution")
+    rg.add_argument("--timeout", type=float, default=None,
+                    help="per-cell wall-clock timeout in seconds "
+                         "(pooled mode)")
+    rg.add_argument("--retries", type=int, default=1,
+                    help="re-attempts per failing/timed-out cell before "
+                         "it is quarantined (default: %(default)s)")
+    rg.add_argument("--no-cache", action="store_true",
+                    help="disable the on-disk cell cache entirely")
+    rg.add_argument("--progress", action="store_true",
+                    help="live per-cell progress (with ETA) on stderr")
+    rg.add_argument("-o", "--output",
+                    help="write per-run records to CSV/JSON")
+    rg.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    add_ledger(rg)
+    add_runner(rg)
+    # run-grid caches by default (unlike study/export, which only opt
+    # in via --cache-dir/--resume).
+    rg.set_defaults(func=cmd_run_grid, cache_dir=DEFAULT_CACHE_DIR)
 
     t = sub.add_parser("trace", help="replay a run and print its decision trace")
     t.add_argument("--example", choices=TRACE_EXAMPLES,
@@ -1062,7 +1274,8 @@ def build_parser() -> argparse.ArgumentParser:
     osub = o.add_subparsers(dest="obs_command", required=True)
 
     def add_obs_common(p):
-        p.add_argument("--ledger", default=DEFAULT_LEDGER_PATH,
+        p.add_argument("--ledger", "--ledger-path", dest="ledger",
+                       default=DEFAULT_LEDGER_PATH,
                        help="run ledger path (default: %(default)s)")
 
     ot = osub.add_parser("tail", help="print the most recent ledger records")

@@ -57,6 +57,7 @@ __all__ = [
     "diff_records",
     "is_lower_better",
     "collect_counters",
+    "histogram_summaries",
 ]
 
 #: Ledger format identifier; bump when the record layout changes.
@@ -386,6 +387,30 @@ def diff_records(
     if only_b:
         lines.append(f"only in {b['run_id']}: {', '.join(only_b)}")
     return lines, regressions
+
+
+def histogram_summaries(histograms) -> dict[str, dict[str, float]]:
+    """Flatten tracer histograms for a ledger record's ``extra``.
+
+    Takes the ``{name: HistogramStat}`` mapping of an
+    :class:`~repro.obs.tracer.ObsSnapshot` and keeps only the JSON-able
+    aggregate (count / sum / mean / min / max) per histogram — bucket
+    vectors stay in trace exports, the ledger records the headline
+    shape.  Empty histograms (count 0) are dropped.
+    """
+    summaries: dict[str, dict[str, float]] = {}
+    for name in sorted(histograms):
+        stat = histograms[name]
+        if stat.count == 0:
+            continue
+        summaries[name] = {
+            "count": stat.count,
+            "sum": stat.sum,
+            "mean": stat.sum / stat.count,
+            "min": stat.min,
+            "max": stat.max,
+        }
+    return summaries
 
 
 def collect_counters(records: Iterable[dict]) -> dict[str, int]:

@@ -1,0 +1,107 @@
+"""Tests for tools/check_docs.py (docs consistency checker)."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def _write(root: Path, relpath: str, text: str) -> Path:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestLinks:
+    def test_dead_relative_link_reported(self, tmp_path):
+        _write(tmp_path, "docs/index.md", "[gone](missing.md)\n")
+        problems = check_docs.check_links(
+            tmp_path, check_docs.doc_files(tmp_path)
+        )
+        assert problems == ["docs/index.md: dead link -> missing.md"]
+
+    def test_live_external_and_fragment_links_pass(self, tmp_path):
+        _write(tmp_path, "docs/other.md", "# other\n")
+        _write(
+            tmp_path,
+            "docs/index.md",
+            "[ok](other.md) [web](https://example.com) [frag](#section) "
+            "[sub](other.md#part)\n",
+        )
+        assert check_docs.check_links(
+            tmp_path, check_docs.doc_files(tmp_path)
+        ) == []
+
+    def test_image_links_are_ignored(self, tmp_path):
+        _write(tmp_path, "docs/index.md", "![shot](missing.png)\n")
+        assert check_docs.check_links(
+            tmp_path, check_docs.doc_files(tmp_path)
+        ) == []
+
+
+class TestModuleReferences:
+    def test_stale_module_reported(self, tmp_path):
+        _write(tmp_path, "src/repro/__init__.py", "")
+        _write(tmp_path, "src/repro/real.py", "x = 1\n")
+        _write(
+            tmp_path,
+            "docs/index.md",
+            "see repro.real and repro.not_a_module\n",
+        )
+        problems = check_docs.check_module_references(
+            tmp_path, check_docs.doc_files(tmp_path)
+        )
+        assert problems == [
+            "docs/index.md: stale reference repro.not_a_module"
+        ]
+
+    def test_real_repo_references_resolve(self):
+        files = check_docs.doc_files(REPO_ROOT)
+        assert files  # docs/ exists and is covered
+        assert check_docs.check_module_references(REPO_ROOT, files) == []
+
+    def test_attribute_references_checked_via_import(self):
+        assert check_docs._resolve_module(REPO_ROOT, "analysis.runner.run_grid")
+        assert not check_docs._resolve_module(
+            REPO_ROOT, "analysis.runner.run_gird"
+        )
+
+
+class TestIndexReachability:
+    def test_unreachable_page_reported(self, tmp_path):
+        _write(tmp_path, "docs/index.md", "[a](a.md)\n")
+        _write(tmp_path, "docs/a.md", "# a\n")
+        _write(tmp_path, "docs/orphan.md", "# nobody links here\n")
+        assert check_docs.check_index_reachability(tmp_path) == [
+            "docs/orphan.md: not reachable from docs/index.md"
+        ]
+
+    def test_transitive_reachability(self, tmp_path):
+        _write(tmp_path, "docs/index.md", "[a](a.md)\n")
+        _write(tmp_path, "docs/a.md", "[b](b.md)\n")
+        _write(tmp_path, "docs/b.md", "# b\n")
+        assert check_docs.check_index_reachability(tmp_path) == []
+
+    def test_missing_index_reported(self, tmp_path):
+        _write(tmp_path, "docs/a.md", "# a\n")
+        assert check_docs.check_index_reachability(tmp_path) == [
+            "docs/index.md is missing"
+        ]
+
+
+class TestEndToEnd:
+    def test_real_repo_is_consistent(self):
+        assert check_docs.run_checks(REPO_ROOT) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        _write(tmp_path, "docs/index.md", "[gone](missing.md)\n")
+        assert check_docs.main([str(tmp_path)]) == 1
+        assert "dead link" in capsys.readouterr().err
+
+        _write(tmp_path, "docs/index.md", "all good\n")
+        assert check_docs.main([str(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out

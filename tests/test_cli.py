@@ -388,3 +388,89 @@ class TestIterateChart:
         out = capsys.readouterr().out
         assert "per-iteration makespan" in out
         assert "*" in out
+
+
+class TestRunGrid:
+    def _argv(self, cache, extra=()):
+        return ["run-grid", "--heuristics", "min-min,mct",
+                "--tasks", "8", "--machines", "3", "--instances", "2",
+                "--heterogeneities", "hihi,lolo",
+                "--consistencies", "inconsistent",
+                "--cache-dir", str(cache), *extra]
+
+    def test_compute_then_resume_hits_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cells"
+        assert main(self._argv(cache)) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out
+        assert "0 cached, 2 computed" in out
+
+        assert main(self._argv(cache, ["--resume"])) == 0
+        out = capsys.readouterr().out
+        assert "2 cached, 0 computed" in out
+
+    def test_no_cache_with_resume_is_an_error(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path / "c",
+                               ["--no-cache", "--resume"])) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_export_output_round_trips(self, tmp_path, capsys):
+        cache = tmp_path / "cells"
+        out_csv = tmp_path / "records.csv"
+        assert main(self._argv(cache, ["-o", str(out_csv)])) == 0
+        text = out_csv.read_text()
+        assert "min-min" in text and "mct" in text
+        capsys.readouterr()
+
+    def test_append_ledger_records_cells_and_histograms(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        cache = tmp_path / "cells"
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(self._argv(cache, ["--append-ledger",
+                                       "--ledger-path", str(ledger)])) == 0
+        capsys.readouterr()
+        record = RunLedger(ledger).read()[-1]
+        assert record["command"] == "run-grid"
+        assert record["metrics"]["cells_computed"] == 2
+        assert record["counters"]["runner.cells.computed"] == 2
+        assert "runner.cell_wall_s" in record["extra"]["histograms"]
+
+    def test_study_and_export_share_the_cell_cache(self, tmp_path, capsys):
+        from repro.analysis.runner import CellCache
+
+        cache = tmp_path / "cells"
+        common = ["--heuristics", "mct", "--tasks", "8", "--machines", "3",
+                  "--instances", "2", "--cache-dir", str(cache)]
+        assert main(["study", *common]) == 0
+        populated = CellCache(cache).keys()
+        assert len(populated) == 1
+        out_csv = tmp_path / "records.csv"
+        assert main(["export", *common, "--resume", "-o", str(out_csv)]) == 0
+        assert CellCache(cache).keys() == populated  # reused, not re-added
+        capsys.readouterr()
+
+
+class TestLedgerPathAlias:
+    def test_alias_accepted_by_obs_family(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger, build_record
+
+        ledger = tmp_path / "ledger.jsonl"
+        RunLedger(ledger).append(
+            build_record("compare", metrics={"makespan_mean_overall": 1.0},
+                         timestamp="2026-01-01T00:00:00+00:00"))
+        assert main(["obs", "tail", "--ledger-path", str(ledger)]) == 0
+        assert "compare" in capsys.readouterr().out
+
+    def test_alias_and_legacy_flag_are_the_same_destination(self):
+        parser = build_parser()
+        via_alias = parser.parse_args(["obs", "tail", "--ledger-path", "x"])
+        via_legacy = parser.parse_args(["obs", "tail", "--ledger", "x"])
+        assert via_alias.ledger == via_legacy.ledger == "x"
+
+    def test_top_level_epilog_documents_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        helptext = capsys.readouterr().out
+        assert "--ledger-path" in helptext
+        assert ".repro/cells" in helptext

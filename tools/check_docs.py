@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Documentation consistency checker (zero dependencies).
+
+Three checks over ``docs/`` and ``README.md``, wired into ``make lint``
+and CI so the docs cannot silently rot as the code moves:
+
+1. **Dead relative links** — every relative markdown link target
+   (``[text](path)``) must exist on disk, resolved against the file
+   containing the link.  External links (``http(s)://``, ``mailto:``)
+   and pure in-page anchors (``#section``) are skipped.
+2. **Stale module references** — every dotted ``repro.<module>``
+   mention must resolve: first against the source tree layout under
+   ``src/repro`` (packages and ``.py`` modules; trailing lowercase
+   segments past a module are treated as attributes and verified by
+   import), so a doc can never name a module that was renamed away.
+3. **Index reachability** — every page under ``docs/`` must be
+   reachable from ``docs/index.md`` by following relative links, so
+   the index stays the complete map of the documentation.
+
+Usage::
+
+    python tools/check_docs.py [repo_root]
+
+Exits 0 when the docs are consistent, 1 with one line per problem
+otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline link: [text](target), ignoring images' leading ``!``.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Dotted repro module path: lowercase/underscore segments only, so
+#: class references like ``repro.obs.CollectingTracer`` contribute just
+#: their module prefix.
+_MODULE_RE = re.compile(r"\brepro((?:\.[a-z_][a-z0-9_]*)+)")
+
+#: Files whose links/references are checked.
+_DOC_GLOBS = ("docs/*.md",)
+_EXTRA_FILES = ("README.md",)
+
+
+def doc_files(root: Path) -> list[Path]:
+    """All markdown files the checker covers, sorted for stable output."""
+    files = [root / name for name in _EXTRA_FILES if (root / name).is_file()]
+    for pattern in _DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return files
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+def iter_links(text: str):
+    """Yield link targets of one markdown document (fragment stripped)."""
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if _is_external(target):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def check_links(root: Path, files: list[Path]) -> list[str]:
+    """Dead-relative-link problems, one message per broken link."""
+    problems = []
+    for path in files:
+        for target in iter_links(path.read_text(encoding="utf-8")):
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: dead link -> {target}"
+                )
+    return problems
+
+
+def _resolve_module(root: Path, dotted: str) -> bool:
+    """Does ``repro.<dotted...>`` name a real module/package/attribute?
+
+    Walks the source tree first (cheap, no imports): each segment must
+    be a package directory or a ``.py`` module under ``src/repro``.
+    Segments *after* a ``.py`` module are attributes; those are checked
+    by importing the module (with ``src`` on ``sys.path``), so a doc
+    referencing ``repro.analysis.runner.run_grid`` breaks the build if
+    ``run_grid`` is renamed.
+    """
+    base = root / "src" / "repro"
+    if not base.is_dir():
+        return True  # nothing to check against
+    segments = dotted.split(".")
+    current = base
+    for index, segment in enumerate(segments):
+        if (current / segment).is_dir():
+            current = current / segment
+            continue
+        if (current / f"{segment}.py").is_file():
+            module = "repro." + ".".join(segments[: index + 1])
+            attrs = segments[index + 1 :]
+            if not attrs:
+                return True
+            return _resolve_attrs(root, module, attrs)
+        # Not a package or module: only valid as attribute(s) of the
+        # package reached so far (e.g. repro.obs.use_tracer re-export).
+        module = "repro" + (
+            "." + ".".join(segments[:index]) if index else ""
+        )
+        return _resolve_attrs(root, module, segments[index:])
+    return True
+
+
+def _resolve_attrs(root: Path, module: str, attrs: list[str]) -> bool:
+    import importlib
+
+    src = str(root / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    try:
+        obj = importlib.import_module(module)
+    except Exception:
+        return False
+    for attr in attrs:
+        try:
+            obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+    return True
+
+
+def check_module_references(root: Path, files: list[Path]) -> list[str]:
+    """Stale ``repro.<module>`` reference problems."""
+    problems = []
+    checked: dict[str, bool] = {}
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        for match in _MODULE_RE.finditer(text):
+            dotted = match.group(1).lstrip(".")
+            if dotted not in checked:
+                checked[dotted] = _resolve_module(root, dotted)
+            if not checked[dotted]:
+                problems.append(
+                    f"{path.relative_to(root)}: stale reference repro.{dotted}"
+                )
+    return problems
+
+
+def check_index_reachability(root: Path) -> list[str]:
+    """Pages under docs/ not reachable from docs/index.md by links."""
+    docs = root / "docs"
+    index = docs / "index.md"
+    if not index.is_file():
+        return ["docs/index.md is missing"]
+    all_pages = {p.resolve() for p in docs.glob("*.md")}
+    seen = {index.resolve()}
+    frontier = [index]
+    while frontier:
+        page = frontier.pop()
+        for target in iter_links(page.read_text(encoding="utf-8")):
+            if not target.endswith(".md"):
+                continue
+            resolved = (page.parent / target).resolve()
+            if resolved in all_pages and resolved not in seen:
+                seen.add(resolved)
+                frontier.append(docs / resolved.name)
+    return [
+        f"docs/{page.name}: not reachable from docs/index.md"
+        for page in sorted(all_pages - seen)
+    ]
+
+
+def run_checks(root: Path) -> list[str]:
+    """All problems across the three checks (empty = consistent docs)."""
+    files = doc_files(root)
+    problems = check_links(root, files)
+    problems += check_module_references(root, files)
+    problems += check_index_reachability(root)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = Path(args[0]).resolve() if args else Path.cwd()
+    problems = run_checks(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    files = doc_files(root)
+    if problems:
+        print(
+            f"check_docs: {len(problems)} problem(s) across "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_docs: OK ({len(files)} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
