@@ -1,11 +1,18 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint smoke-obs smoke-faults smoke-runner bench bench-smoke bench-baseline bench-pytest
+.PHONY: test test-deep lint smoke-obs smoke-faults smoke-runner bench bench-smoke bench-baseline bench-pytest
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 	$(MAKE) bench-smoke
+
+# Nightly-style deep sweep of the hypothesis batteries: the ``deep``
+# profile raises the per-test example budgets (see tests/conftest.py),
+# and the selection runs everything tagged ``properties`` or ``slow``.
+test-deep:
+	REPRO_HYPOTHESIS_PROFILE=deep PYTHONPATH=$(PYTHONPATH) \
+		$(PYTHON) -m pytest -q -m "properties or slow"
 
 # Static checks.  Uses ruff (configured in pyproject.toml) when it is on
 # PATH; otherwise falls back to the zero-dependency checker in

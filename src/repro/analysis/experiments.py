@@ -24,7 +24,7 @@ from repro.core.ties import DeterministicTieBreaker, RandomTieBreaker
 from repro.etc.generation import Consistency, Heterogeneity, generate_ensemble
 from repro.etc.matrix import ETCMatrix
 from repro.exceptions import ConfigurationError
-from repro.heuristics.base import get_heuristic
+from repro.heuristics.backends import get_backend
 from repro.obs.metrics import TIME_BUCKETS
 from repro.obs.tracer import get_tracer
 
@@ -68,6 +68,9 @@ class ExperimentConfig:
     generation_method: str = "range"  # or "cvb"
     seeded_iterations: bool = False  # use SeededIterativeScheduler
     seed: int = 0
+    #: Kernel backend (see :mod:`repro.heuristics.backends`); decision-
+    #: identical by contract, so it changes wall-clock only, never records.
+    backend: str = "incremental"
     #: Extra constructor kwargs per heuristic name, e.g.
     #: ``{"genitor": {"iterations": 200, "population_size": 20}}``.
     heuristic_kwargs: MappingABC[str, MappingABC[str, object]] = field(
@@ -77,6 +80,7 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.tie_policy not in ("deterministic", "random"):
             raise ConfigurationError(f"unknown tie policy {self.tie_policy!r}")
+        get_backend(self.backend)  # fail fast on unknown backends
         if self.instances_per_cell < 1:
             raise ConfigurationError(
                 f"instances_per_cell must be >= 1, got {self.instances_per_cell}"
@@ -127,6 +131,10 @@ def config_to_dict(config: ExperimentConfig) -> dict:
             name: dict(kwargs)
             for name, kwargs in sorted(config.heuristic_kwargs.items())
         },
+        # Backends are decision-identical, so the default is omitted to
+        # keep cache/ledger identities of pre-backend configs unchanged;
+        # a non-default backend is recorded for provenance.
+        **({"backend": config.backend} if config.backend != "incremental" else {}),
     }
 
 
@@ -263,7 +271,7 @@ def _run_one(
     kwargs = dict(config.heuristic_kwargs.get(name, {}))
     if name in _STOCHASTIC and "rng" not in kwargs:
         kwargs["rng"] = h_rng
-    heuristic = get_heuristic(name, **kwargs)
+    heuristic = get_backend(config.backend).make(name, **kwargs)
     breaker = (
         DeterministicTieBreaker()
         if config.tie_policy == "deterministic"

@@ -110,6 +110,7 @@ def improvement_study(
     tie_policies: tuple[str, ...] = ("deterministic", "random"),
     seeded_iterations: bool = False,
     seed: int = 0,
+    backend: str = "incremental",
     heuristic_kwargs=None,
     run_fn=run_experiment,
 ) -> list[ImprovementRow]:
@@ -120,7 +121,9 @@ def improvement_study(
     The CLI routes this through the cached runner
     (:func:`~repro.analysis.runner.run_grid`) when ``--cache-dir`` /
     ``--resume`` are given — the records are identical either way, only
-    execution and caching differ.
+    execution and caching differ.  ``backend`` picks the kernel
+    generation (see :mod:`repro.heuristics.backends`); all backends are
+    decision-identical, so the rows do not depend on it.
     """
     rows: list[ImprovementRow] = []
     for policy in tie_policies:
@@ -134,6 +137,7 @@ def improvement_study(
             tie_policy=policy,
             seeded_iterations=seeded_iterations,
             seed=seed,
+            backend=backend,
             heuristic_kwargs=heuristic_kwargs or {},
         )
         rows.extend(_aggregate(list(run_fn(config))))

@@ -39,6 +39,7 @@ from repro.exceptions import ConfigurationError
 __all__ = [
     "SCHEMA",
     "DEFAULT_TOLERANCE",
+    "BenchOptions",
     "Workload",
     "WORKLOADS",
     "workload_names",
@@ -61,7 +62,26 @@ DEFAULT_REPEATS = 5
 
 _FULL_SHAPE = (512, 32)
 _SMOKE_SHAPE = (64, 8)
+_BATCH_SHAPE = (128, 16)
+_BATCH_SMOKE_SHAPE = (32, 8)
+_SMOKE_BATCH = 8
+DEFAULT_BATCH = 64
 _ETC_SEED = 20070612  # fixed: every run times the same instance
+
+
+@dataclass(frozen=True)
+class BenchOptions:
+    """Knobs a :class:`Workload` build receives.
+
+    ``backend=None`` means each workload's historical default (the
+    batched workload uses the ``batched`` backend, the mapper workloads
+    the incremental kernels), so reports stay comparable run to run
+    unless a backend is chosen deliberately.
+    """
+
+    smoke: bool = False
+    backend: str | None = None
+    batch_size: int = DEFAULT_BATCH
 
 
 def _bench_etc(smoke: bool):
@@ -85,22 +105,26 @@ def _bench_etc(smoke: bool):
 class Workload:
     """One tracked timing target.
 
-    ``build(smoke)`` returns ``(run, run_reference)`` thunks — the
+    ``build(options)`` returns ``(run, run_reference)`` thunks — the
     optimised path and the retained pre-optimisation path (``None``
     when the workload has no reference variant).
     """
 
     name: str
     description: str
-    build: Callable[[bool], tuple[Callable[[], object], Callable[[], object] | None]]
+    build: Callable[
+        [BenchOptions], tuple[Callable[[], object], Callable[[], object] | None]
+    ]
 
 
 def _mapper_workload(heuristic_factory) -> Callable:
-    def build(smoke: bool):
+    def build(options: BenchOptions):
         from repro.core.ties import DeterministicTieBreaker
 
-        etc = _bench_etc(smoke)
-
+        etc = _bench_etc(options.smoke)
+        # These workloads time a *fixed* kernel pair (incremental vs
+        # reference) so their speedup column stays meaningful; the
+        # backend knob drives the experiment/batched workloads instead.
         def run():
             return heuristic_factory(incremental=True).map_tasks(
                 etc, tie_breaker=DeterministicTieBreaker()
@@ -116,11 +140,11 @@ def _mapper_workload(heuristic_factory) -> Callable:
     return build
 
 
-def _iterative_workload(smoke: bool):
+def _iterative_workload(options: BenchOptions):
     from repro.core.iterative import IterativeScheduler
     from repro.heuristics.minmin import MinMin
 
-    etc = _bench_etc(smoke)
+    etc = _bench_etc(options.smoke)
 
     def run():
         return IterativeScheduler(MinMin(incremental=True)).run(etc)
@@ -131,15 +155,17 @@ def _iterative_workload(smoke: bool):
     return run, run_reference
 
 
-def _experiment_workload(smoke: bool):
+def _experiment_workload(options: BenchOptions):
     from repro.analysis.experiments import ExperimentConfig, run_experiment
 
+    smoke = options.smoke
     config = ExperimentConfig(
         heuristics=("min-min", "mct", "sufferage"),
         num_tasks=16 if smoke else 48,
         num_machines=4 if smoke else 8,
         instances_per_cell=1 if smoke else 3,
         seed=_ETC_SEED,
+        backend=options.backend or "incremental",
     )
 
     def run():
@@ -148,7 +174,7 @@ def _experiment_workload(smoke: bool):
     return run, None
 
 
-def _cached_grid_workload(smoke: bool):
+def _cached_grid_workload(options: BenchOptions):
     """Cached re-run through the resumable runner vs full recompute.
 
     ``build`` pre-populates a throwaway cell cache once; the optimised
@@ -165,6 +191,7 @@ def _cached_grid_workload(smoke: bool):
     from repro.analysis.runner import run_grid
     from repro.etc.generation import Heterogeneity
 
+    smoke = options.smoke
     config = ExperimentConfig(
         heuristics=("min-min", "mct"),
         num_tasks=12 if smoke else 32,
@@ -184,6 +211,51 @@ def _cached_grid_workload(smoke: bool):
 
     def run_reference():
         return run_grid(config, max_workers=1, cache_dir=None)
+
+    return run, run_reference
+
+
+def _batched_greedy_workload(options: BenchOptions):
+    """Stacked batched Min-Min vs looping the single-instance kernel.
+
+    The optimised thunk maps one :class:`~repro.etc.batch.ETCBatch`
+    (``batch_size`` instances, 128×16 full / 32×8 smoke) through the
+    batched backend's 3-D kernel; the reference thunk loops the
+    incremental single-instance kernel over the same matrices.  The
+    speedup column is the direct measure of the batch-axis
+    vectorisation (the two paths are decision-identical, enforced by
+    the equivalence battery).
+    """
+    from repro.etc.batch import ETCBatch
+    from repro.etc.generation import (
+        Consistency,
+        Heterogeneity,
+        generate_range_based,
+    )
+    from repro.heuristics.backends import get_backend
+    from repro.heuristics.minmin import MinMin
+
+    tasks, machines = _BATCH_SMOKE_SHAPE if options.smoke else _BATCH_SHAPE
+    size = min(options.batch_size, _SMOKE_BATCH) if options.smoke else options.batch_size
+    matrices = [
+        generate_range_based(
+            tasks,
+            machines,
+            Heterogeneity.HIHI,
+            Consistency.INCONSISTENT,
+            rng=_ETC_SEED + i,
+        )
+        for i in range(size)
+    ]
+    batch = ETCBatch.from_matrices(matrices)
+    backend = get_backend(options.backend or "batched")
+
+    def run():
+        return backend.map_batch("min-min", batch, nominal_size=size).makespans()
+
+    def run_reference():
+        mapper = MinMin(incremental=True)
+        return [mapper.map_tasks(etc).makespan() for etc in matrices]
 
     return run, run_reference
 
@@ -249,6 +321,13 @@ WORKLOADS: tuple[Workload, ...] = (
         "reference variant)",
         _cached_grid_workload,
     ),
+    Workload(
+        "batched-greedy",
+        "Min-Min over a stacked batch of 64 ETC instances, 128 tasks x "
+        "16 machines (8 of 32x8 in smoke mode), vs looping the "
+        "single-instance kernel (the reference variant)",
+        _batched_greedy_workload,
+    ),
 )
 
 
@@ -275,6 +354,8 @@ def run_bench(
     repeats: int = DEFAULT_REPEATS,
     with_reference: bool = True,
     only: Sequence[str] | None = None,
+    backend: str | None = None,
+    batch_size: int = DEFAULT_BATCH,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Time every registered workload and return the report dict.
@@ -282,10 +363,15 @@ def run_bench(
     ``only`` restricts the run to a subset of workload names;
     ``with_reference=False`` skips the pre-optimisation variants (halves
     runtime, but the report then carries no speedup figures);
-    ``progress`` receives one line per finished workload.
+    ``backend`` / ``batch_size`` reach the workload builds as
+    :class:`BenchOptions`; ``progress`` receives one line per finished
+    workload.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    options = BenchOptions(smoke=smoke, backend=backend, batch_size=batch_size)
     selected = WORKLOADS
     if only is not None:
         known = {w.name: w for w in WORKLOADS}
@@ -301,7 +387,7 @@ def run_bench(
 
     results: dict[str, dict] = {}
     for workload in selected:
-        run, run_reference = workload.build(smoke)
+        run, run_reference = workload.build(options)
         entry = dict(_time_thunk(run, repeats))
         entry["description"] = workload.description
         if with_reference and run_reference is not None:

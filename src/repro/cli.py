@@ -159,6 +159,7 @@ def _runner_run_fn(args: argparse.Namespace):
             cache_dir=cache_dir,
             resume=args.resume,
             shards=args.shards,
+            batch_size=getattr(args, "batch_size", None),
             on_error="raise",
         )
         return list(result.records)
@@ -250,6 +251,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             tie_policies=tuple(args.ties.split(",")),
             seeded_iterations=args.seeded,
             seed=args.seed,
+            backend=args.backend,
             **study_kwargs,
         )
     print(format_improvement_table(rows))
@@ -284,6 +286,7 @@ def cmd_study(args: argparse.Namespace) -> int:
                 "consistency": args.consistency.value,
                 "ties": args.ties,
                 "seeded": args.seeded,
+                "backend": args.backend,
             },
             metrics=metrics,
             counters=tracer.counters.as_dict() if tracer is not None else None,
@@ -593,6 +596,7 @@ def cmd_export(args: argparse.Namespace) -> int:
         tie_policy=args.ties,
         seeded_iterations=args.seeded,
         seed=args.seed,
+        backend=args.backend,
     )
     run_fn = _runner_run_fn(args)
     with _maybe_collect(args.append_ledger) as tracer:
@@ -643,6 +647,7 @@ def cmd_export(args: argparse.Namespace) -> int:
                 "ties": args.ties,
                 "seeded": args.seeded,
                 "workers": args.workers,
+                "backend": args.backend,
             },
             metrics=metrics,
             counters=tracer.counters.as_dict() if tracer is not None else None,
@@ -676,6 +681,7 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         tie_policy=args.ties,
         seeded_iterations=args.seeded,
         seed=args.seed,
+        backend=args.backend,
     )
     cache_dir = None if args.no_cache else args.cache_dir
     with _maybe_collect(args.append_ledger) as tracer:
@@ -686,6 +692,7 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
             cache_dir=cache_dir,
             resume=args.resume,
             shards=args.shards,
+            batch_size=args.batch_size,
             timeout_s=args.timeout,
             retries=args.retries,
         )
@@ -750,6 +757,8 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
                 "seeded": args.seeded,
                 "workers": args.workers,
                 "shards": args.shards,
+                "batch_size": args.batch_size,
+                "backend": args.backend,
                 "cache_dir": cache_dir,
                 "resume": args.resume,
             },
@@ -864,6 +873,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Time the tracked workloads; optionally compare against a baseline."""
     from repro.bench import (
+        WORKLOADS,
         compare_reports,
         format_report,
         load_report,
@@ -871,12 +881,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
+    if args.list_workloads:
+        for workload in WORKLOADS:
+            print(f"{workload.name:<28} {workload.description}")
+        return 0
     started = time.perf_counter()
     report = run_bench(
         smoke=args.smoke,
         repeats=args.repeats,
         with_reference=not args.no_reference,
         only=args.workloads.split(",") if args.workloads else None,
+        backend=args.backend,
+        batch_size=args.batch_size,
         progress=lambda line: print(line, file=sys.stderr),
     )
     print(format_report(report))
@@ -898,6 +914,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "repeats": args.repeats,
                 "with_reference": not args.no_reference,
                 "workloads": args.workloads,
+                "backend": args.backend,
+                "batch_size": args.batch_size,
             },
             metrics=metrics,
             extra={"bench_report": report},
@@ -1020,6 +1038,8 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     from repro.analysis.runner import DEFAULT_CACHE_DIR
+    from repro.bench import DEFAULT_BATCH
+    from repro.heuristics.backends import DEFAULT_BACKEND, backend_names
     from repro.obs.ledger import DEFAULT_LEDGER_PATH
 
     parser = argparse.ArgumentParser(
@@ -1067,6 +1087,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--shards", type=int, default=None,
                        help="round-robin submission shards for the work "
                             "queue (default: one per cell)")
+        p.add_argument("--backend", choices=backend_names(),
+                       default=DEFAULT_BACKEND,
+                       help="kernel backend (decision-identical; default: "
+                            "%(default)s)")
+        p.add_argument("--batch-size", type=int, default=None,
+                       help="pack same-shape grid cells into submission "
+                            "batches of this size (default: one cell per "
+                            "submission)")
 
     def add_faults(p):
         from repro.sim.hcsystem import RECOVERY_POLICIES
@@ -1262,6 +1290,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the retained pre-optimisation variants")
     b.add_argument("--workloads",
                    help="comma list restricting which workloads run")
+    b.add_argument("--list", action="store_true", dest="list_workloads",
+                   help="list the registered workloads and exit")
+    b.add_argument("--backend", choices=backend_names(), default=None,
+                   help="kernel backend for the backend-aware workloads "
+                        "(default: each workload's historical default)")
+    b.add_argument("--batch-size", type=int, default=DEFAULT_BATCH,
+                   help="batch size for the batched-greedy workload "
+                        "(default: %(default)s)")
     b.add_argument("--baseline",
                    help="bench JSON to compare against (exit 1 on regression)")
     b.add_argument("--tolerance", type=float, default=0.5,

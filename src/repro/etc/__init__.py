@@ -1,5 +1,6 @@
 """ETC (estimated time to compute) matrix substrate."""
 
+from repro.etc.batch import ETCBatch
 from repro.etc.generation import (
     Consistency,
     CVBParams,
@@ -41,6 +42,7 @@ from repro.etc.witness import (
 
 __all__ = [
     "ETCMatrix",
+    "ETCBatch",
     "default_task_labels",
     "default_machine_labels",
     "Consistency",

@@ -126,6 +126,8 @@ class ETCMatrix:
         values: np.ndarray,
         tasks: tuple[str, ...],
         machines: tuple[str, ...],
+        *,
+        allow_strided: bool = False,
     ) -> "ETCMatrix":
         """Fast-path constructor for restrictions of a validated matrix.
 
@@ -136,7 +138,21 @@ class ETCMatrix:
         for them.  ``values`` may be a read-only *view* of the parent
         buffer (zero-copy restriction); callers must never pass a
         writable array they intend to mutate.
+
+        The array must be 2-D and, unless ``allow_strided`` is set,
+        C-contiguous: an arbitrary strided slice of a stacked batch
+        could silently alias the wrong elements once kernels start
+        assuming row-major layout, so such input is copied to C order
+        instead of adopted.  ``allow_strided`` is reserved for
+        :meth:`_restricted`, whose basic-slicing views carry audited
+        strides derived from the validated parent.
         """
+        if values.ndim != 2:
+            raise ETCShapeError(
+                f"trusted ETC values must be 2-D, got ndim={values.ndim}"
+            )
+        if not allow_strided and not values.flags.c_contiguous:
+            values = np.ascontiguousarray(values)
         self = object.__new__(cls)
         if values.flags.writeable:
             values.setflags(write=False)
@@ -147,6 +163,18 @@ class ETCMatrix:
         self._machine_index = None
         self._hash = None
         return self
+
+    @classmethod
+    def stack(cls, matrices: "Sequence[ETCMatrix]") -> "ETCBatch":
+        """Stack same-shape, same-label matrices into an :class:`ETCBatch`.
+
+        The batch performs exactly one ``np.stack`` copy; the per-index
+        :meth:`repro.etc.batch.ETCBatch.instance` accessor then hands
+        back zero-copy views of the stacked buffer.
+        """
+        from repro.etc.batch import ETCBatch
+
+        return ETCBatch.from_matrices(matrices)
 
     @classmethod
     def from_dict(
@@ -291,7 +319,9 @@ class ETCMatrix:
             sub = self._values[:, col_slice][list(rows)]
         else:
             sub = self._values[np.ix_(list(rows), list(cols))]
-        return ETCMatrix._from_trusted(sub, task_labels, machine_labels)
+        return ETCMatrix._from_trusted(
+            sub, task_labels, machine_labels, allow_strided=True
+        )
 
     def submatrix(
         self,

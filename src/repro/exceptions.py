@@ -16,6 +16,7 @@ __all__ = [
     "MappingError",
     "UnmappedTaskError",
     "UnknownHeuristicError",
+    "UnknownBackendError",
     "ConfigurationError",
     "SimulationError",
 ]
@@ -56,6 +57,10 @@ class UnmappedTaskError(MappingError):
 
 class UnknownHeuristicError(ReproError, KeyError):
     """A heuristic name was not found in the registry."""
+
+
+class UnknownBackendError(ReproError, KeyError):
+    """A kernel-backend name was not found in the backend registry."""
 
 
 class ConfigurationError(ReproError, ValueError):

@@ -12,6 +12,22 @@ from repro.heuristics.base import (
     register_heuristic,
 )
 from repro.heuristics.annealing import SimulatedAnnealing
+from repro.heuristics.backends import (
+    DEFAULT_BACKEND,
+    BatchedBackend,
+    IncrementalBackend,
+    KernelBackend,
+    ReferenceBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.heuristics.batched import (
+    GREEDY_FAMILY,
+    BatchResult,
+    batch_ready_vector,
+    map_batch,
+)
 from repro.heuristics.genitor import Genitor
 from repro.heuristics.gsa import GeneticSimulatedAnnealing
 from repro.heuristics.optimal import BranchAndBound
@@ -31,6 +47,18 @@ __all__ = [
     "register_heuristic",
     "get_heuristic",
     "heuristic_names",
+    "KernelBackend",
+    "ReferenceBackend",
+    "IncrementalBackend",
+    "BatchedBackend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "DEFAULT_BACKEND",
+    "BatchResult",
+    "GREEDY_FAMILY",
+    "batch_ready_vector",
+    "map_batch",
     "MET",
     "MCT",
     "OLB",

@@ -1,0 +1,22 @@
+"""Marker plumbing for the property batteries.
+
+Everything under ``tests/properties/`` is hypothesis-driven, so the
+whole directory is tagged ``properties`` automatically — CI can then
+split the suite (``-m "not properties"`` for the quick job, ``make
+test-deep`` for the deep-budget sweep) without per-test decoration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        path = Path(str(item.fspath)).resolve()
+        if _HERE == path.parent or _HERE in path.parents:
+            item.add_marker(pytest.mark.properties)
