@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deep lint smoke-obs smoke-faults smoke-runner bench bench-smoke bench-baseline bench-pytest
+.PHONY: test test-deep lint smoke-obs smoke-faults smoke-runner bench bench-smoke bench-smoke-baseline bench-baseline bench-pytest
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -72,10 +72,22 @@ bench:
 bench-baseline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench -o BENCH_baseline.json
 
-# Shrunken (64x8) one-repeat pass: proves the harness end to end in a
-# couple of seconds; wired into the default `make test` flow.
+# Shrunken smoke pass: proves the harness end to end in under a
+# minute; wired into the default `make test` flow and run by CI, which
+# uploads the written BENCH_current.json as a build artifact.  The gate
+# compares *speedup ratios* (optimised vs reference), not wall-clock —
+# ratios are self-normalising across machine speeds, so the checked-in
+# smoke baseline stays meaningful on any host.  Regenerate it with
+# `make bench-smoke-baseline` after a deliberate perf change.
 bench-smoke:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --smoke --repeats 2
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --smoke --repeats 2 \
+		-o BENCH_current.json \
+		--speedup-baseline BENCH_baseline_smoke.json \
+		--speedup-tolerance 0.25
+
+bench-smoke-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --smoke --repeats 3 \
+		-o BENCH_baseline_smoke.json
 
 # The original pytest-benchmark suite (micro-benchmarks).
 bench-pytest:

@@ -33,6 +33,7 @@ __all__ = [
     "RunRecord",
     "run_experiment",
     "stable_key",
+    "cell_instance_rng",
     "config_to_dict",
     "run_record_to_dict",
     "run_record_from_dict",
@@ -203,8 +204,41 @@ def run_record_from_dict(payload: dict) -> RunRecord:
     )
 
 
-def run_experiment(config: ExperimentConfig) -> list[RunRecord]:
-    """Execute the grid; returns one record per heuristic per instance."""
+def cell_instance_rng(
+    config: ExperimentConfig, het: Heterogeneity, cons: Consistency
+) -> np.random.Generator:
+    """The exact per-cell instance-generation stream of :func:`run_experiment`.
+
+    Exposed so out-of-band instance producers — the store publisher in
+    :mod:`repro.analysis.runner` streams a cell's ensemble into an
+    :class:`~repro.etc.store.ETCStore` before workers attach — draw the
+    byte-identical instances the in-process path would generate.
+    """
+    root = np.random.SeedSequence(config.seed)
+    instance_seed = root.spawn(1)[0]
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=instance_seed.entropy,
+            spawn_key=(stable_key(het.value, cons.value),),
+        )
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    instances_for=None,
+) -> list[RunRecord]:
+    """Execute the grid; returns one record per heuristic per instance.
+
+    ``instances_for`` optionally overrides instance generation: a
+    callable ``(heterogeneity, consistency) -> Sequence[ETCMatrix]``
+    whose matrices replace the cell's generated ensemble (the store
+    transport hands back memmap views here).  Providers must supply
+    value-identical instances — per-cell RNG streams are independent
+    (:func:`cell_instance_rng`), so skipping generation perturbs no
+    other stream and the records stay byte-identical.
+    """
     root = np.random.SeedSequence(config.seed)
     instance_seed, heuristic_seed, tie_seed = root.spawn(3)
     tracer = get_tracer()
@@ -220,21 +254,24 @@ def run_experiment(config: ExperimentConfig) -> list[RunRecord]:
                 instances=config.instances_per_cell,
                 heuristics=tuple(config.heuristics),
             ):
-                cell_rng = np.random.default_rng(
-                    np.random.SeedSequence(
-                        entropy=instance_seed.entropy,
-                        spawn_key=(stable_key(het.value, cons.value),),
+                if instances_for is not None:
+                    instances = list(instances_for(het, cons))
+                else:
+                    cell_rng = np.random.default_rng(
+                        np.random.SeedSequence(
+                            entropy=instance_seed.entropy,
+                            spawn_key=(stable_key(het.value, cons.value),),
+                        )
                     )
-                )
-                instances = generate_ensemble(
-                    config.instances_per_cell,
-                    config.num_tasks,
-                    config.num_machines,
-                    heterogeneity=het,
-                    consistency=cons,
-                    method=config.generation_method,
-                    rng=cell_rng,
-                )
+                    instances = generate_ensemble(
+                        config.instances_per_cell,
+                        config.num_tasks,
+                        config.num_machines,
+                        heterogeneity=het,
+                        consistency=cons,
+                        method=config.generation_method,
+                        rng=cell_rng,
+                    )
                 for name in config.heuristics:
                     h_seed, t_seed = np.random.SeedSequence(
                         entropy=heuristic_seed.entropy,

@@ -28,6 +28,24 @@ as a thin compatible wrapper:
   mode) and bounded retries turn a pathological cell into a *poisoned*
   cell — recorded in the cache as ``<key>.poison.json`` and skipped on
   resume — instead of hanging the whole grid.
+* **Zero-copy store transport.**  With ``store_dir`` set, cell inputs
+  flow through a memory-mapped :class:`~repro.etc.store.ETCStore`
+  instead of being regenerated (or pickled) per worker: the parent
+  *publishes* each pending cell's instance stack once — streamed in
+  bounded windows via
+  :func:`~repro.etc.generation.generate_ensemble_into`, so grid size is
+  limited by disk, not RAM — and the pool ships only tiny
+  ``(cell config, store root)`` descriptors.  Persistent workers attach
+  the store once (module-level handle cache) and read every instance as
+  a read-only ``numpy.memmap`` view through the trusted zero-copy
+  constructors.  Entries are content-addressed with the cell cache's
+  SHA-256 scheme over the *instance-generation* parameters alone
+  (:func:`store_entry_key`), so published stacks are reused across
+  resumes and by any grid sharing the ETC class — even when heuristics
+  differ.  Records, cache entries and traced cell
+  snapshots are byte-identical to the in-memory path (transport-only
+  ``store.*`` / ``runner.ipc.*`` parent-side counters excepted) —
+  asserted by the transport test battery.
 * **Observability.**  The runner counts ``runner.cells.cached`` /
   ``runner.cells.computed`` / ``runner.cells.retried`` /
   ``runner.cells.quarantined`` and fills the ``runner.cell_wall_s``
@@ -52,8 +70,10 @@ The ``repro run-grid`` CLI subcommand wraps this engine end to end.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
+import pickle
 import tempfile
 import time
 from collections.abc import Callable
@@ -64,14 +84,17 @@ from pathlib import Path
 from repro.analysis.experiments import (
     ExperimentConfig,
     RunRecord,
+    cell_instance_rng,
     config_to_dict,
     run_experiment,
     run_record_from_dict,
     run_record_to_dict,
 )
 from repro.analysis.parallel import split_into_cells
+from repro.etc.generation import DEFAULT_STREAM_WINDOW, generate_ensemble_into
+from repro.etc.store import ETCStore
 from repro.exceptions import ConfigurationError, ReproError
-from repro.obs.metrics import TIME_BUCKETS
+from repro.obs.metrics import BYTE_BUCKETS, TIME_BUCKETS
 from repro.obs.progress import NULL_PROGRESS
 from repro.obs.tracer import (
     CollectingTracer,
@@ -86,6 +109,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "cell_key",
     "cell_label",
+    "store_entry_key",
     "split_into_shards",
     "pack_same_shape_batches",
     "CellCache",
@@ -133,6 +157,83 @@ def cell_label(config: ExperimentConfig) -> str:
         if config.heterogeneities and config.consistencies
         else "?"
     )
+
+
+def store_entry_key(config: ExperimentConfig, het, cons) -> str:
+    """Content address of one cell's instance ensemble in the ETC store.
+
+    Hashes only what determines the generated instances — seed, matrix
+    shape, instance count, generation method and the ETC class — with
+    the same SHA-256 scheme as :func:`cell_key`.  Heuristic
+    configuration is deliberately excluded: grids that differ only in
+    heuristics or iterative parameters share published instance stacks.
+    """
+    from repro.obs.ledger import config_hash
+
+    return config_hash(
+        {
+            "kind": "etc-ensemble/1",
+            "seed": config.seed,
+            "num_tasks": config.num_tasks,
+            "num_machines": config.num_machines,
+            "count": config.instances_per_cell,
+            "method": config.generation_method,
+            "heterogeneity": het.value,
+            "consistency": cons.value,
+        }
+    )
+
+
+#: Worker-side store handle cache: root path -> attached read-only
+#: :class:`~repro.etc.store.ETCStore`.  Persistent pool workers (and the
+#: serial in-process path) attach each store at most once, however many
+#: cells read from it.
+_WORKER_STORES: dict[str, ETCStore] = {}
+
+
+def _attached_store(root: str) -> ETCStore:
+    store = _WORKER_STORES.get(root)
+    if store is None:
+        store = ETCStore(root, create=False)
+        _WORKER_STORES[root] = store
+    return store
+
+
+def _detach_stores(root: str | None = None) -> None:
+    """Close cached store attachments (one root, or all with ``None``).
+
+    Releases the mmap windows held by this process; safe for roots that
+    were never attached.  The parent calls this in ``run_grid``'s
+    cleanup path so serial store-backed runs pin no mappings afterwards.
+    """
+    roots = [root] if root is not None else list(_WORKER_STORES)
+    for key in roots:
+        store = _WORKER_STORES.pop(key, None)
+        if store is not None:
+            store.close()
+
+
+def _run_cell_from_store(
+    config: ExperimentConfig, store_root: str
+) -> list[RunRecord]:
+    """Worker entry point of the store transport (module-level picklable).
+
+    Attaches the store once per process (:data:`_WORKER_STORES`) and
+    serves the cell's instances as read-only memmap views through
+    ``run_experiment(instances_for=...)`` — nothing larger than the cell
+    config and the store root ever crosses the process boundary.
+    """
+    store = _attached_store(store_root)
+
+    def instances_for(het, cons):
+        key = store_entry_key(config, het, cons)
+        if key not in store:
+            # Published after this handle last read the manifest
+            # (persistent worker or serial in-process reuse).
+            store.reload()
+        return store.instances(key)
+
+    return run_experiment(config, instances_for=instances_for)
 
 
 def split_into_shards(cells: list, num_shards: int) -> list[list]:
@@ -352,6 +453,10 @@ class GridResult:
     computed_cells: int
     retried: int
     quarantined: tuple[QuarantinedCell, ...] = ()
+    #: Store transport bookkeeping (``store_dir`` runs only): ensembles
+    #: streamed into the store this run vs served from existing entries.
+    store_published: int = 0
+    store_reused: int = 0
 
     @property
     def ok(self) -> bool:
@@ -436,6 +541,8 @@ def run_grid(
     timeout_s: float | None = None,
     retries: int = DEFAULT_RETRIES,
     on_error: str = "quarantine",
+    store_dir: str | Path | None = None,
+    stream_chunk: int | None = None,
     cell_fn: Callable[[ExperimentConfig], list[RunRecord]] = run_experiment,
 ) -> GridResult:
     """Execute an experiment grid cell-by-cell, resumably.
@@ -465,8 +572,18 @@ def run_grid(
     * ``"raise"`` — re-raise the cell's original exception, matching
       the legacy ``run_experiment_parallel`` contract.
 
+    ``store_dir`` switches cell inputs onto the zero-copy store
+    transport (see the module docstring): pending cells' ensembles are
+    streamed into the :class:`~repro.etc.store.ETCStore` at that path
+    once, and workers attach them as memmap views instead of
+    regenerating instances.  ``stream_chunk`` bounds the publish
+    window (instances held in RAM at a time; default
+    ``DEFAULT_STREAM_WINDOW``) and requires ``store_dir``.  Records and
+    cache entries are byte-identical to non-store runs.
+
     ``cell_fn`` is the per-cell executor (tests inject failing or
-    sleeping stand-ins; it must stay picklable for pooled runs).
+    sleeping stand-ins; it must stay picklable for pooled runs).  It
+    cannot be combined with ``store_dir``, whose executor is fixed.
     """
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
@@ -480,6 +597,18 @@ def run_grid(
         )
     if batch_size is not None and batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if store_dir is not None and cell_fn is not run_experiment:
+        raise ConfigurationError(
+            "store_dir fixes the cell executor to the store transport; "
+            "it cannot be combined with a custom cell_fn"
+        )
+    if stream_chunk is not None:
+        if store_dir is None:
+            raise ConfigurationError("stream_chunk requires store_dir")
+        if stream_chunk < 1:
+            raise ConfigurationError(
+                f"stream_chunk must be >= 1, got {stream_chunk}"
+            )
 
     progress = progress if progress is not None else NULL_PROGRESS
     tracer = get_tracer()
@@ -563,26 +692,89 @@ def run_grid(
             tracer.count("runner.cells.quarantined")
         progress.advance(f"{work.label} (quarantined)")
 
-    # Pack pending cells into submission units.  ``batch_size=None``
-    # keeps the historical one-cell-per-submission behaviour exactly.
-    if batch_size is None:
-        units = [_BatchWork(works=[work]) for work in pending]
-    else:
-        units = [
-            _BatchWork(works=group)
-            for group in pack_same_shape_batches(
-                pending, batch_size, key=lambda work: _cell_shape(work.config)
-            )
-        ]
-        if count_obs:
-            for unit in units:
-                tracer.count("runner.batch.submitted")
-                tracer.observe("runner.batch.size", len(unit.works))
-                tracer.observe(
-                    "runner.batch.fill_pct", 100.0 * len(unit.works) / batch_size
-                )
-
+    # ------------------------------------------------------------------
+    # Publish phase (store transport): stream each pending cell's
+    # ensemble into the store exactly once, in bounded windows; the pool
+    # then ships only (cell config, store root) descriptors and workers
+    # attach the payload by content key.  Inside the try so an
+    # interrupted publish still releases the parent's store handle.
+    # ------------------------------------------------------------------
+    store: ETCStore | None = None
+    store_published = 0
+    store_reused = 0
     try:
+        if store_dir is not None:
+            store = ETCStore(store_dir)
+            # Transport-only parent-side counters: excluded from the
+            # byte-identity contract (the legacy no-store wrapper never
+            # emits them), so they are gated only on the tracer.
+            ipc_obs = tracer.enabled
+            window = (
+                stream_chunk if stream_chunk is not None else DEFAULT_STREAM_WINDOW
+            )
+            for work in pending:
+                cell = work.config
+                het = cell.heterogeneities[0]
+                cons = cell.consistencies[0]
+                entry_key = store_entry_key(cell, het, cons)
+                reused = entry_key in store
+                entry = generate_ensemble_into(
+                    store,
+                    entry_key,
+                    cell.instances_per_cell,
+                    cell.num_tasks,
+                    cell.num_machines,
+                    heterogeneity=het,
+                    consistency=cons,
+                    method=cell.generation_method,
+                    rng=cell_instance_rng(cell, het, cons),
+                    window=window,
+                )
+                if reused:
+                    store_reused += 1
+                else:
+                    store_published += 1
+                if ipc_obs:
+                    if reused:
+                        tracer.count("store.cells_reused")
+                    else:
+                        tracer.count("store.cells_published")
+                        tracer.count("store.bytes_written", entry.nbytes)
+                    # Payload served zero-copy vs what actually crosses
+                    # the pipe per cell — the transport win in bytes.
+                    tracer.observe(
+                        "runner.ipc.payload_bytes",
+                        entry.nbytes,
+                        buckets=BYTE_BUCKETS,
+                    )
+                    tracer.observe(
+                        "runner.ipc.descriptor_bytes",
+                        len(pickle.dumps((cell, str(store.root)))),
+                        buckets=BYTE_BUCKETS,
+                    )
+            cell_fn = functools.partial(
+                _run_cell_from_store, store_root=str(store.root)
+            )
+
+        # Pack pending cells into submission units.  ``batch_size=None``
+        # keeps the historical one-cell-per-submission behaviour exactly.
+        if batch_size is None:
+            units = [_BatchWork(works=[work]) for work in pending]
+        else:
+            units = [
+                _BatchWork(works=group)
+                for group in pack_same_shape_batches(
+                    pending, batch_size, key=lambda work: _cell_shape(work.config)
+                )
+            ]
+            if count_obs:
+                for unit in units:
+                    tracer.count("runner.batch.submitted")
+                    tracer.observe("runner.batch.size", len(unit.works))
+                    tracer.observe(
+                        "runner.batch.fill_pct", 100.0 * len(unit.works) / batch_size
+                    )
+
         serial = len(pending) <= 1 or max_workers == 1
         if serial:
             pending = [work for unit in units for work in unit.works]
@@ -629,6 +821,13 @@ def run_grid(
             )
     finally:
         progress.finish()
+        # Release the parent's transport handles whatever happened
+        # above: the publisher's memmaps/manifest handle, and (serial
+        # in-process runs) the attached worker-side cache — so aborted
+        # runs leave no open mappings and no stale store state behind.
+        if store is not None:
+            store.close()
+            _detach_stores(str(store.root))
 
     # Merge every isolated snapshot (cached or freshly computed) in
     # cell order, so the caller's traced stream is independent of
@@ -650,6 +849,8 @@ def run_grid(
         computed_cells=len(results) - cached_cells,
         retried=retried,
         quarantined=tuple(quarantined),
+        store_published=store_published,
+        store_reused=store_reused,
     )
 
 

@@ -27,8 +27,10 @@ and full reports are never comparable (`compare_reports` refuses).
 from __future__ import annotations
 
 import json
+import os
 import platform
 import statistics
+import subprocess
 import sys
 import time
 from collections.abc import Callable, Sequence
@@ -39,12 +41,14 @@ from repro.exceptions import ConfigurationError
 __all__ = [
     "SCHEMA",
     "DEFAULT_TOLERANCE",
+    "DEFAULT_SPEEDUP_TOLERANCE",
     "BenchOptions",
     "Workload",
     "WORKLOADS",
     "workload_names",
     "run_bench",
     "compare_reports",
+    "compare_speedups",
     "load_report",
     "write_report",
     "format_report",
@@ -57,6 +61,12 @@ SCHEMA = "repro-bench/1"
 #: (0.5 = 50%, generous because wall-clock timing on shared hardware is
 #: noisy; the optimisations being guarded are 2–10x, not 1.1x).
 DEFAULT_TOLERANCE = 0.5
+
+#: Default allowed *speedup-ratio* shrink before ``compare_speedups``
+#: flags a workload (0.25 = the optimised-vs-reference ratio may lose a
+#: quarter).  Ratios divide out absolute machine speed, so this gate is
+#: usable on shared CI runners where raw ``best_s`` comparisons are not.
+DEFAULT_SPEEDUP_TOLERANCE = 0.25
 
 DEFAULT_REPEATS = 5
 
@@ -260,6 +270,204 @@ def _batched_greedy_workload(options: BenchOptions):
     return run, run_reference
 
 
+def _cell_cost(values) -> float:
+    """Cheap whole-payload reduction standing in for cell compute.
+
+    Touches every element exactly once (per-task best completion time,
+    summed), so both transport variants pay identical compute and the
+    measured gap is transport alone.
+    """
+    return float(values.min(axis=2).sum())
+
+
+def _shm_cell_cost(descriptor) -> float:
+    """Pool worker for the shm variant: attach by name, reduce."""
+    from repro.analysis.parallel import attach_shared
+
+    return _cell_cost(attach_shared(descriptor))
+
+
+def _pickled_cell_cost(values) -> float:
+    """Pool worker for the reference variant: the array itself crossed
+    the pipe (pickled on submit, unpickled here)."""
+    return _cell_cost(values)
+
+
+def _shm_grid_workload(options: BenchOptions):
+    """Zero-copy shm fan-out vs pickling the same payloads to the pool.
+
+    ``build`` generates one ETC-scale stack per grid cell (64 cells of
+    24×256×32 full, 8 cells of 4×32×8 smoke), publishes every stack
+    into POSIX shared memory once (:class:`SharedMemoryArena`), and
+    starts a process pool shared by both thunks.  The optimised thunk
+    fans out :class:`ShmDescriptor` handles (tens of bytes each;
+    workers attach the published pages and cache the attachment); the
+    reference thunk submits the arrays themselves, paying
+    pickle + pipe + unpickle per cell.  Same pool, same worker count,
+    same reduction — the speedup column isolates the transport.
+    """
+    import atexit
+    from concurrent.futures import ProcessPoolExecutor
+
+    import numpy as np
+
+    from repro.analysis.parallel import SharedMemoryArena
+
+    # Per-cell payloads are sized so transport (pickle + pipe vs a
+    # descriptor handoff) dominates the worker's reduction even in
+    # smoke mode — 1 MiB/cell smoke, 1.5 MiB/cell full.
+    if options.smoke:
+        cells, workers, shape = 8, 2, (16, 256, 32)
+    else:
+        cells, workers, shape = 64, 8, (24, 256, 32)
+    rng = np.random.default_rng(_ETC_SEED)
+    payloads = [
+        rng.uniform(1.0, 3000.0, size=shape) for _ in range(cells)
+    ]
+    arena = SharedMemoryArena()
+    atexit.register(arena.close)
+    descriptors = [arena.publish(values) for values in payloads]
+    pool = ProcessPoolExecutor(max_workers=workers)
+    atexit.register(pool.shutdown)
+
+    def run():
+        return [r for r in pool.map(_shm_cell_cost, descriptors)]
+
+    def run_reference():
+        return [r for r in pool.map(_pickled_cell_cost, payloads)]
+
+    return run, run_reference
+
+
+#: Streamed-generation memory budget: the streamed path must stay under
+#: ``baseline + payload/2`` while the payload itself exceeds that budget
+#: — so finishing under budget is impossible for a path that
+#: materialises the whole ensemble.
+_STREAM_CHILD = r"""
+import json, resource, shutil, sys
+
+mode, root, count, tasks, machines, window, seed = sys.argv[1:8]
+from repro.etc.generation import generate_ensemble, generate_ensemble_into
+from repro.etc.store import ETCStore
+
+store = ETCStore(root)
+try:
+    if mode == "streamed":
+        generate_ensemble_into(
+            store, "bench", int(count), int(tasks), int(machines),
+            rng=int(seed), window=int(window),
+        )
+    else:
+        store.put_matrices(
+            "bench",
+            generate_ensemble(int(count), int(tasks), int(machines), rng=int(seed)),
+        )
+finally:
+    store.close()
+    shutil.rmtree(root, ignore_errors=True)
+print(json.dumps(
+    {"maxrss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024}
+))
+"""
+
+_STREAM_BASELINE_CHILD = (
+    "import json, resource; import numpy; import repro.etc.store; "
+    "print(json.dumps({'maxrss_bytes': "
+    "resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024}))"
+)
+
+
+def _child_env() -> dict:
+    import repro
+
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    return env
+
+
+def _child_maxrss(argv: list[str], env: dict) -> int:
+    out = subprocess.run(
+        [sys.executable, *argv], env=env, capture_output=True, text=True
+    )
+    if out.returncode != 0:
+        raise ConfigurationError(
+            f"bench child process failed (rc={out.returncode}): "
+            f"{out.stderr.strip()[-500:]}"
+        )
+    return int(json.loads(out.stdout.strip().splitlines()[-1])["maxrss_bytes"])
+
+
+def _streamed_generation_workload(options: BenchOptions):
+    """Out-of-core ensemble generation under a hard peak-RSS budget.
+
+    Each repeat spawns a *fresh* interpreter (fork would inherit the
+    parent's RSS high-water mark) that pours one ensemble — sized to
+    exceed the memory budget — into a throwaway ETC store.  The
+    optimised thunk streams it in bounded windows
+    (:func:`~repro.etc.generation.generate_ensemble_into`) and **fails
+    the bench** if the child's ``ru_maxrss`` reaches the budget; the
+    reference thunk materialises the full ensemble first
+    (``generate_ensemble`` + ``put_matrices``), demonstrating the peak
+    the streamed path avoids.  Budget: interpreter baseline (measured
+    per run) + half the payload.
+    """
+    import atexit
+    import shutil
+    import tempfile
+
+    tasks, machines = (256, 32) if options.smoke else _FULL_SHAPE
+    instance_bytes = tasks * machines * 8
+    env = _child_env()
+    baseline = _child_maxrss(["-c", _STREAM_BASELINE_CHILD], env)
+    # Payload > budget by at least 32 MiB by construction, and the
+    # streamed child's peak (baseline + a few windows' worth of copies,
+    # ~32 MiB over baseline in practice) clears the budget with the
+    # same margin however fat the interpreter baseline is.
+    floor = (128 if options.smoke else 256) << 20
+    payload = max(floor, 2 * baseline + (64 << 20))
+    count = -(-payload // instance_bytes)
+    payload = count * instance_bytes
+    budget = baseline + payload // 2
+    window = max(1, (8 << 20) // instance_bytes)
+    base = tempfile.mkdtemp(prefix="repro-bench-stream-")
+    atexit.register(shutil.rmtree, base, ignore_errors=True)
+    counter = iter(range(10**9))
+
+    def child(mode: str) -> int:
+        root = os.path.join(base, f"{mode}-{next(counter)}")
+        return _child_maxrss(
+            [
+                "-c",
+                _STREAM_CHILD,
+                mode,
+                root,
+                str(count),
+                str(tasks),
+                str(machines),
+                str(window),
+                str(_ETC_SEED),
+            ],
+            env,
+        )
+
+    def run():
+        maxrss = child("streamed")
+        if maxrss >= budget:
+            raise ConfigurationError(
+                f"streamed generation peaked at {maxrss >> 20} MiB, over the "
+                f"{budget >> 20} MiB budget ({payload >> 20} MiB payload, "
+                f"{baseline >> 20} MiB interpreter baseline)"
+            )
+        return maxrss
+
+    def run_reference():
+        return child("eager")
+
+    return run, run_reference
+
+
 def _make_minmin(**kwargs):
     from repro.heuristics.minmin import MinMin
 
@@ -328,6 +536,21 @@ WORKLOADS: tuple[Workload, ...] = (
         "single-instance kernel (the reference variant)",
         _batched_greedy_workload,
     ),
+    Workload(
+        "shm-grid",
+        "Shared-memory descriptor fan-out of 64 grid-cell payloads to an "
+        "8-worker pool (8 cells / 2 workers in smoke mode) vs pickling "
+        "the same arrays through the pool pipes (the reference variant)",
+        _shm_grid_workload,
+    ),
+    Workload(
+        "streamed-generation",
+        "Out-of-core ensemble streaming into an ETC store in a fresh "
+        "subprocess, asserted under a peak-RSS budget the payload "
+        "exceeds, vs materialising the whole ensemble first (the "
+        "reference variant)",
+        _streamed_generation_workload,
+    ),
 )
 
 
@@ -348,6 +571,29 @@ def _time_thunk(thunk: Callable[[], object], repeats: int) -> dict:
     }
 
 
+def _profile_thunk(thunk: Callable[[], object], top_n: int) -> list[str]:
+    """One profiled invocation; top ``top_n`` cumulative-time entries.
+
+    Runs *after* the timing loop so the profiler's overhead never
+    contaminates the recorded samples.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        thunk()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(
+        top_n
+    )
+    return [line.rstrip() for line in buffer.getvalue().splitlines() if line.strip()]
+
+
 def run_bench(
     *,
     smoke: bool = False,
@@ -356,6 +602,7 @@ def run_bench(
     only: Sequence[str] | None = None,
     backend: str | None = None,
     batch_size: int = DEFAULT_BATCH,
+    profile: int | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Time every registered workload and return the report dict.
@@ -364,13 +611,17 @@ def run_bench(
     ``with_reference=False`` skips the pre-optimisation variants (halves
     runtime, but the report then carries no speedup figures);
     ``backend`` / ``batch_size`` reach the workload builds as
-    :class:`BenchOptions`; ``progress`` receives one line per finished
-    workload.
+    :class:`BenchOptions`; ``profile=N`` additionally runs each
+    optimised thunk once under :mod:`cProfile` after timing and stores
+    the top-``N`` cumulative entries in the workload's ``profile``
+    field; ``progress`` receives one line per finished workload.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if profile is not None and profile < 1:
+        raise ConfigurationError(f"profile must be >= 1, got {profile}")
     options = BenchOptions(smoke=smoke, backend=backend, batch_size=batch_size)
     selected = WORKLOADS
     if only is not None:
@@ -395,6 +646,8 @@ def run_bench(
             entry["reference_best_s"] = reference["best_s"]
             entry["reference_median_s"] = reference["median_s"]
             entry["speedup"] = reference["best_s"] / entry["best_s"]
+        if profile is not None:
+            entry["profile"] = _profile_thunk(run, profile)
         results[workload.name] = entry
         if progress is not None:
             speedup = entry.get("speedup")
@@ -467,6 +720,57 @@ def compare_reports(
                 f"{name}: best {entry['best_s'] * 1e3:.3f} ms exceeds "
                 f"baseline {base['best_s'] * 1e3:.3f} ms "
                 f"x {1.0 + tolerance:.2f} = {limit * 1e3:.3f} ms"
+            )
+    return regressions
+
+
+def compare_speedups(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_SPEEDUP_TOLERANCE
+) -> list[str]:
+    """Regression messages for shrunken optimised-vs-reference ratios.
+
+    Only workloads carrying a ``speedup`` figure in the baseline are
+    gated: a workload regresses when its current ratio drops below
+    ``baseline speedup * (1 - tolerance)`` — or when its current run
+    lost the reference timing entirely.  Because both variants run on
+    the same machine in the same process, the ratio divides out
+    absolute hardware speed, making this gate stable on heterogeneous
+    CI runners where :func:`compare_reports`' wall-clock bound is not.
+    Smoke/full reports remain incomparable, as with
+    :func:`compare_reports`.
+    """
+    if not 0 <= tolerance < 1:
+        raise ConfigurationError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    if bool(current.get("smoke")) != bool(baseline.get("smoke")):
+        raise ConfigurationError(
+            "cannot compare reports with different smoke flags "
+            f"(current smoke={bool(current.get('smoke'))}, "
+            f"baseline smoke={bool(baseline.get('smoke'))})"
+        )
+    regressions: list[str] = []
+    current_results = current.get("results", {})
+    for name, base in baseline.get("results", {}).items():
+        base_speedup = base.get("speedup")
+        if base_speedup is None:
+            continue
+        entry = current_results.get(name)
+        if entry is None:
+            regressions.append(f"{name}: missing from current run")
+            continue
+        speedup = entry.get("speedup")
+        if speedup is None:
+            regressions.append(
+                f"{name}: current run carries no reference timing "
+                f"(baseline speedup {base_speedup:.2f}x)"
+            )
+            continue
+        floor = base_speedup * (1.0 - tolerance)
+        if speedup < floor:
+            regressions.append(
+                f"{name}: speedup {speedup:.2f}x fell below baseline "
+                f"{base_speedup:.2f}x x {1.0 - tolerance:.2f} = {floor:.2f}x"
             )
     return regressions
 

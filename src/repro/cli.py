@@ -666,6 +666,10 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         print("error: --resume needs the cell cache (drop --no-cache)",
               file=sys.stderr)
         return 2
+    if args.stream_chunk is not None and args.store_dir is None:
+        print("error: --stream needs the ETC store (add --store DIR)",
+              file=sys.stderr)
+        return 2
     started = time.perf_counter()
     config = ExperimentConfig(
         heuristics=tuple(args.heuristics.split(",")),
@@ -695,11 +699,16 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             timeout_s=args.timeout,
             retries=args.retries,
+            store_dir=args.store_dir,
+            stream_chunk=args.stream_chunk,
         )
     print(f"grid: {result.total_cells} cell(s) — "
           f"{result.cached_cells} cached, {result.computed_cells} computed, "
           f"{result.retried} retried, {len(result.quarantined)} quarantined; "
           f"{len(result.records)} records")
+    if args.store_dir is not None:
+        print(f"store: {result.store_published} ensemble(s) published, "
+              f"{result.store_reused} reused from {args.store_dir}")
     for q in result.quarantined:
         print(f"quarantined: {q.label} [{q.key[:12]}] after "
               f"{q.attempts} attempt(s): {q.error}", file=sys.stderr)
@@ -724,6 +733,9 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
             "cells_quarantined": len(result.quarantined),
             "runs": len(result.records),
         }
+        if args.store_dir is not None:
+            metrics["store_published"] = result.store_published
+            metrics["store_reused"] = result.store_reused
         if comparisons:
             metrics["original_makespan_mean"] = float(
                 np.mean([c.original_makespan for c in comparisons])
@@ -761,6 +773,8 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
                 "backend": args.backend,
                 "cache_dir": cache_dir,
                 "resume": args.resume,
+                "store_dir": args.store_dir,
+                "stream_chunk": args.stream_chunk,
             },
             metrics=metrics,
             counters=tracer.counters.as_dict() if tracer is not None else None,
@@ -875,6 +889,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         WORKLOADS,
         compare_reports,
+        compare_speedups,
         format_report,
         load_report,
         run_bench,
@@ -893,9 +908,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         only=args.workloads.split(",") if args.workloads else None,
         backend=args.backend,
         batch_size=args.batch_size,
+        profile=args.profile,
         progress=lambda line: print(line, file=sys.stderr),
     )
     print(format_report(report))
+    if args.profile is not None:
+        for name, entry in sorted(report["results"].items()):
+            if entry.get("profile"):
+                print(f"\nprofile: {name} (top {args.profile} by cumulative time)")
+                for line in entry["profile"]:
+                    print(f"  {line}")
     if args.output:
         write_report(report, args.output)
         print(f"\nreport written to {args.output}")
@@ -931,6 +953,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"\nno regressions vs {args.baseline} "
               f"(tolerance {args.tolerance:.0%})")
+    if args.speedup_baseline:
+        regressions = compare_speedups(
+            report,
+            load_report(args.speedup_baseline),
+            tolerance=args.speedup_tolerance,
+        )
+        if regressions:
+            print(f"\nSPEEDUP REGRESSION vs {args.speedup_baseline}:",
+                  file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nno speedup regressions vs {args.speedup_baseline} "
+              f"(tolerance {args.speedup_tolerance:.0%})")
     return 0
 
 
@@ -1251,6 +1287,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "it is quarantined (default: %(default)s)")
     rg.add_argument("--no-cache", action="store_true",
                     help="disable the on-disk cell cache entirely")
+    rg.add_argument("--store", dest="store_dir", metavar="DIR", default=None,
+                    help="publish cell inputs once into a memory-mapped ETC "
+                         "store at DIR; workers attach zero-copy views "
+                         "instead of regenerating instances")
+    rg.add_argument("--stream", dest="stream_chunk", type=int, metavar="N",
+                    default=None,
+                    help="bound the store publish window to N instances in "
+                         "RAM at a time (requires --store)")
     rg.add_argument("--progress", action="store_true",
                     help="live per-cell progress (with ETA) on stderr")
     rg.add_argument("-o", "--output",
@@ -1302,6 +1346,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bench JSON to compare against (exit 1 on regression)")
     b.add_argument("--tolerance", type=float, default=0.5,
                    help="allowed fractional slowdown vs baseline (0.5 = 50%%)")
+    b.add_argument("--profile", type=int, metavar="N", default=None,
+                   help="after timing, run each optimised thunk once under "
+                        "cProfile and print the top N cumulative entries")
+    b.add_argument("--speedup-baseline",
+                   help="bench JSON whose optimised-vs-reference speedup "
+                        "ratios gate this run (machine-speed independent; "
+                        "exit 1 when a ratio shrinks beyond tolerance)")
+    b.add_argument("--speedup-tolerance", type=float, default=0.25,
+                   help="allowed fractional speedup shrink vs "
+                        "--speedup-baseline (default: %(default)s)")
     b.add_argument("-o", "--output", help="write the report JSON here")
     add_ledger(b)
     b.set_defaults(func=cmd_bench)

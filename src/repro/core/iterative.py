@@ -325,9 +325,11 @@ class IterativeScheduler:
                 unfrozen.extend(survivors)
                 break
 
-            surviving_tasks = [
-                t for t in current_etc.tasks if t not in set(frozen_tasks)
-            ]
+            # Build the membership set once per iteration, not once per
+            # element — frozen_tasks grows every round, so the inline
+            # ``set(...)`` made this comprehension O(T^2) per iteration.
+            frozen = set(frozen_tasks)
+            surviving_tasks = [t for t in current_etc.tasks if t not in frozen]
             if not surviving_tasks:
                 # Task pool exhausted: survivors never run anything and
                 # finish at their initial ready times.

@@ -114,6 +114,36 @@ class ETCBatch:
         self._machines = first.machines
         return self
 
+    @classmethod
+    def _from_trusted(
+        cls,
+        values: np.ndarray,
+        tasks: tuple[str, ...],
+        machines: tuple[str, ...],
+    ) -> "ETCBatch":
+        """Adopt an already-validated C-contiguous float64 block (no copy).
+
+        The batch-side twin of :meth:`ETCMatrix._from_trusted`: skips the
+        finiteness/positivity scan and label checks.  Used by
+        :class:`repro.etc.store.ETCStore` to wrap ``numpy.memmap``
+        windows of validated on-disk entries — re-scanning there would
+        fault in every page and defeat the out-of-core layout.  Callers
+        must never pass a writable array they intend to mutate.
+        """
+        if values.ndim != 3:
+            raise ETCShapeError(
+                f"trusted ETC batch values must be 3-D, got ndim={values.ndim}"
+            )
+        if values.dtype != np.float64 or not values.flags.c_contiguous:
+            values = np.ascontiguousarray(values, dtype=np.float64)
+        self = object.__new__(cls)
+        if values.flags.writeable:
+            values.setflags(write=False)
+        self._values = values
+        self._tasks = tasks
+        self._machines = machines
+        return self
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

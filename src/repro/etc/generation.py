@@ -37,7 +37,14 @@ __all__ = [
     "HETEROGENEITY_RANGES",
     "HETEROGENEITY_CVB",
     "generate_ensemble",
+    "DEFAULT_STREAM_WINDOW",
+    "stream_ensemble",
+    "generate_ensemble_into",
 ]
+
+#: Default instances per window for the streaming generators — bounds
+#: transient memory at ``window * num_tasks * num_machines * 8`` bytes.
+DEFAULT_STREAM_WINDOW = 32
 
 
 class Consistency(enum.Enum):
@@ -250,3 +257,89 @@ def generate_ensemble(
             for _ in range(count)
         ]
     raise ConfigurationError(f"unknown generation method {method!r}")
+
+
+def _instance_generator(method: str):
+    if method == "range":
+        return generate_range_based
+    if method == "cvb":
+        return generate_cvb
+    raise ConfigurationError(f"unknown generation method {method!r}")
+
+
+def stream_ensemble(
+    count: int,
+    num_tasks: int,
+    num_machines: int,
+    heterogeneity: Heterogeneity = Heterogeneity.HIHI,
+    consistency: Consistency = Consistency.INCONSISTENT,
+    method: str = "range",
+    rng: np.random.Generator | int | None = None,
+    window: int = DEFAULT_STREAM_WINDOW,
+):
+    """Yield the :func:`generate_ensemble` instances in bounded windows.
+
+    Each yielded chunk is a C-contiguous ``(B, num_tasks, num_machines)``
+    float64 array with ``B <= window`` (the last window may be partial).
+    The per-instance draws consume the RNG stream in exactly the order
+    :func:`generate_ensemble` does, so concatenating every window
+    reproduces the eager ensemble bit for bit — the property the
+    store-backed grid transport relies on for byte-identical records.
+    Peak memory is one window, independent of ``count``: this is the
+    out-of-core entry point (instance volume bounded by disk, not RAM)
+    that :func:`generate_ensemble_into` pours into an
+    :class:`~repro.etc.store.ETCStore`.
+    """
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    make = _instance_generator(method)
+    gen = _coerce_rng(rng)
+    pending: list[np.ndarray] = []
+    for _ in range(count):
+        pending.append(
+            make(num_tasks, num_machines, heterogeneity, consistency, gen).values
+        )
+        if len(pending) == window:
+            yield np.stack(pending)
+            pending.clear()
+    if pending:
+        yield np.stack(pending)
+
+
+def generate_ensemble_into(
+    store,
+    key: str,
+    count: int,
+    num_tasks: int,
+    num_machines: int,
+    heterogeneity: Heterogeneity = Heterogeneity.HIHI,
+    consistency: Consistency = Consistency.INCONSISTENT,
+    method: str = "range",
+    rng: np.random.Generator | int | None = None,
+    window: int = DEFAULT_STREAM_WINDOW,
+):
+    """Stream one ensemble into ``store`` under ``key``; returns the entry.
+
+    A key already committed is served as-is without consuming any
+    randomness (the caller's idempotent-publish fast path); otherwise
+    the windows of :func:`stream_ensemble` are appended one by one, so
+    generating a grid far larger than RAM peaks at one window plus the
+    writer's buffer.
+    """
+    if key in store:
+        return store.entry(key)
+    with store.writer(key, num_tasks, num_machines) as writer:
+        for chunk in stream_ensemble(
+            count,
+            num_tasks,
+            num_machines,
+            heterogeneity=heterogeneity,
+            consistency=consistency,
+            method=method,
+            rng=rng,
+            window=window,
+        ):
+            writer.append(chunk)
+    return store.entry(key)

@@ -19,6 +19,7 @@ __all__ = [
     "UnknownBackendError",
     "ConfigurationError",
     "SimulationError",
+    "ETCStoreError",
 ]
 
 
@@ -69,3 +70,12 @@ class ConfigurationError(ReproError, ValueError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class ETCStoreError(ETCError):
+    """The on-disk ETC store is locked, corrupt, or misused.
+
+    Examples: appending to a key that is already committed, attaching to
+    a store directory that does not exist, a manifest whose schema does
+    not match, or a write lock held by another live process.
+    """

@@ -29,6 +29,7 @@ __all__ = [
     "Gauges",
     "DEFAULT_BUCKETS",
     "TIME_BUCKETS",
+    "BYTE_BUCKETS",
 ]
 
 #: Default histogram bucket upper bounds, tuned for small integer
@@ -47,6 +48,15 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 TIME_BUCKETS: tuple[float, ...] = (
     1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
     0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+#: Bucket bounds for payload sizes in bytes (64 B .. 4 GiB, powers of
+#: four).  Used by the transport counters (``runner.ipc.*`` descriptor
+#: sizes, ``store.*`` entry sizes) so the histogram shows at a glance
+#: whether a run is shipping descriptors or payloads.
+BYTE_BUCKETS: tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+    4194304, 16777216, 67108864, 268435456, 1073741824, 4294967296,
 )
 
 

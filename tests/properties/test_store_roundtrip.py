@@ -1,0 +1,126 @@
+"""Property battery for the memory-mapped ETC store.
+
+Two laws, enforced over adversarial random ensembles:
+
+* **Round-trip exactness** — any ensemble written to an
+  :class:`~repro.etc.store.ETCStore` reads back value- and dtype-exact
+  (bit-identical float64, not approximately equal), as read-only
+  memmapped views, and passes the store's own checksum verification.
+* **Decision transparency** — every registered kernel backend produces
+  byte-identical scheduling decisions whether its heuristic reads a
+  store-backed instance view or the original in-memory matrix.  This
+  is the property the zero-copy grid transport rests on: if it holds,
+  swapping the transport can never change a result.
+
+The ensembles include an integer-grid mode (tolerance ties become the
+norm), duplicated rows and instances, custom labels, and the degenerate
+shape corners (one instance, one task, one machine).
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import numpy as np
+
+from repro.core.ties import DeterministicTieBreaker
+from repro.etc.matrix import ETCMatrix
+from repro.etc.store import ETCStore
+from repro.heuristics import backend_names, get_backend
+from tests.conftest import BATCH_MAX_EXAMPLES
+
+#: Heuristics exercised by the decision-transparency law — the paper's
+#: kerneled family, covering row-min, column-scan and sufferage-style
+#: access patterns over the memmapped values.
+HEURISTICS = ("mct", "min-min", "max-min", "sufferage")
+
+
+@st.composite
+def ensembles(draw):
+    """A small adversarial ensemble of same-shape ETC matrices."""
+    count = draw(st.integers(1, 4))
+    num_tasks = draw(st.integers(1, 6))
+    num_machines = draw(st.integers(1, 5))
+    if draw(st.booleans()):
+        # Integer grid: ties everywhere, so decision identity has to
+        # hold through the tie-breaking logic, not despite it.
+        cell = st.integers(1, 4).map(float)
+    else:
+        cell = st.floats(0.5, 50.0, allow_nan=False, allow_infinity=False)
+    row = st.lists(cell, min_size=num_machines, max_size=num_machines)
+
+    if draw(st.booleans()):
+        tasks = tuple(f"job-{i}" for i in range(num_tasks))
+        machines = tuple(f"host-{i}" for i in range(num_machines))
+    else:
+        tasks = machines = None
+
+    matrices = []
+    for index in range(count):
+        if index and draw(st.integers(0, 3)) == 0:
+            matrices.append(matrices[draw(st.integers(0, index - 1))])
+            continue
+        values = draw(st.lists(row, min_size=num_tasks, max_size=num_tasks))
+        if num_tasks > 1 and draw(st.integers(0, 2)) == 0:
+            src = draw(st.integers(0, num_tasks - 1))
+            dst = draw(st.integers(0, num_tasks - 1))
+            values[dst] = list(values[src])
+        matrices.append(ETCMatrix(values, tasks=tasks, machines=machines))
+    return matrices
+
+
+class TestStoreRoundTripProperties:
+    @given(matrices=ensembles())
+    @settings(max_examples=BATCH_MAX_EXAMPLES)
+    def test_round_trip_is_value_and_dtype_exact(self, matrices):
+        with tempfile.TemporaryDirectory() as root:
+            with ETCStore(root) as store:
+                entry = store.put_matrices("k", matrices)
+                assert entry.count == len(matrices)
+                assert store.verify("k")
+
+                values = store.batch("k").values
+                assert values.dtype == np.float64
+                assert not values.flags.writeable
+                for i, matrix in enumerate(matrices):
+                    assert np.array_equal(values[i], matrix.values)
+                    view = store.instance("k", i)
+                    assert view.values.dtype == np.float64
+                    assert np.array_equal(view.values, matrix.values)
+                    assert view.tasks == matrix.tasks
+                    assert view.machines == matrix.machines
+
+    @given(matrices=ensembles())
+    @settings(max_examples=BATCH_MAX_EXAMPLES)
+    def test_reopened_store_reads_identical_bytes(self, matrices):
+        with tempfile.TemporaryDirectory() as root:
+            with ETCStore(root) as store:
+                store.put_matrices("k", matrices)
+                first = np.asarray(store.batch("k").values).copy()
+            with ETCStore(root, create=False) as reopened:
+                assert np.array_equal(reopened.batch("k").values, first)
+                assert reopened.verify("k")
+
+
+class TestStoreDecisionTransparency:
+    @given(matrices=ensembles(), data=st.data())
+    @settings(max_examples=BATCH_MAX_EXAMPLES)
+    def test_store_backed_views_schedule_identically(self, matrices, data):
+        heuristic_name = data.draw(st.sampled_from(HEURISTICS))
+        with tempfile.TemporaryDirectory() as root:
+            with ETCStore(root) as store:
+                store.put_matrices("k", matrices)
+                for backend_name in backend_names():
+                    backend = get_backend(backend_name)
+                    for i, matrix in enumerate(matrices):
+                        stored_view = store.instance("k", i)
+                        in_memory = backend.make(heuristic_name).map_tasks(
+                            matrix, tie_breaker=DeterministicTieBreaker()
+                        )
+                        store_backed = backend.make(heuristic_name).map_tasks(
+                            stored_view, tie_breaker=DeterministicTieBreaker()
+                        )
+                        assert (
+                            store_backed.assignments == in_memory.assignments
+                        ), f"{heuristic_name}/{backend_name} diverged on instance {i}"
+                        assert store_backed.makespan() == in_memory.makespan()
