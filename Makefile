@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deep lint smoke-obs smoke-faults smoke-runner bench bench-smoke bench-smoke-baseline bench-baseline bench-pytest
+.PHONY: test test-deep lint smoke-obs smoke-faults smoke-runner smoke-timeline bench bench-smoke bench-smoke-baseline bench-baseline bench-pytest
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -60,6 +60,29 @@ smoke-runner:
 		--heterogeneities hihi,lolo --cache-dir .smoke-runner-cells \
 		--resume | grep "2 cached"
 	rm -rf .smoke-runner-cells
+
+# Timeline smoke: the span/time-series/timeline test batteries, then a
+# tiny sharded store-backed grid run that must produce one merged trace
+# tree plus a repro-timeseries/1 log, the timeline renderer over that
+# trace, and the tracing-overhead bench workload (its overhead budget
+# gate lives inside the workload itself, so no baseline file is needed;
+# see docs/observability.md).
+smoke-timeline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/obs/test_spans.py tests/obs/test_timeseries.py \
+		tests/obs/test_timeline.py
+	rm -rf .smoke-timeline
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro run-grid \
+		--heuristics min-min,mct --tasks 10 --machines 4 --instances 2 \
+		--heterogeneities hihi,lolo --cache-dir .smoke-timeline/cells \
+		--store .smoke-timeline/store \
+		--trace-out .smoke-timeline/trace.jsonl \
+		--timeseries .smoke-timeline/ts.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro obs timeline \
+		.smoke-timeline/trace.jsonl | grep "runner.grid"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --smoke --repeats 1 \
+		--workloads tracing-overhead
+	rm -rf .smoke-timeline
 
 # Full benchmark harness: times the tracked 512x32 workloads (optimised
 # and retained reference kernels), writes BENCH_current.json, and fails

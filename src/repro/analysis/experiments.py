@@ -254,24 +254,29 @@ def run_experiment(
                 instances=config.instances_per_cell,
                 heuristics=tuple(config.heuristics),
             ):
-                if instances_for is not None:
-                    instances = list(instances_for(het, cons))
-                else:
-                    cell_rng = np.random.default_rng(
-                        np.random.SeedSequence(
-                            entropy=instance_seed.entropy,
-                            spawn_key=(stable_key(het.value, cons.value),),
+                # Span-only phase (no event), so the traced event
+                # stream stays byte-identical to pre-span releases.
+                with tracer.phase(
+                    "experiment.instances", count=config.instances_per_cell
+                ):
+                    if instances_for is not None:
+                        instances = list(instances_for(het, cons))
+                    else:
+                        cell_rng = np.random.default_rng(
+                            np.random.SeedSequence(
+                                entropy=instance_seed.entropy,
+                                spawn_key=(stable_key(het.value, cons.value),),
+                            )
                         )
-                    )
-                    instances = generate_ensemble(
-                        config.instances_per_cell,
-                        config.num_tasks,
-                        config.num_machines,
-                        heterogeneity=het,
-                        consistency=cons,
-                        method=config.generation_method,
-                        rng=cell_rng,
-                    )
+                        instances = generate_ensemble(
+                            config.instances_per_cell,
+                            config.num_tasks,
+                            config.num_machines,
+                            heterogeneity=het,
+                            consistency=cons,
+                            method=config.generation_method,
+                            rng=cell_rng,
+                        )
                 for name in config.heuristics:
                     h_seed, t_seed = np.random.SeedSequence(
                         entropy=heuristic_seed.entropy,

@@ -24,7 +24,10 @@ under a fresh :class:`~repro.obs.tracer.CollectingTracer`, ships the
 resulting :class:`~repro.obs.tracer.ObsSnapshot` back with the records,
 and the parent merges the snapshots **in cell order** — so the merged
 event stream and counter totals are identical to a serial run under the
-same tracer (asserted by the property suite).
+same tracer (asserted by the property suite).  Worker span records
+(:mod:`repro.obs.spans`) merge the same way; cache-backed
+:func:`~repro.analysis.runner.run_grid` runs additionally thread one
+trace id through every worker so the merged spans form a single tree.
 """
 
 from __future__ import annotations

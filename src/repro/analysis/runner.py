@@ -56,6 +56,14 @@ as a thin compatible wrapper:
   the same per-cell event streams a fresh run would produce (modulo
   JSON's tuple/list conflation in event fields — the documented export
   round-trip contract).
+* **Span timelines and time-series.**  In cache mode the whole run
+  executes under one ``runner.grid`` span whose
+  :class:`~repro.obs.spans.SpanContext` rides to every worker in the
+  submission payload, so the merged snapshots form a single trace tree
+  (publish → worker attach → cell compute → persist) renderable with
+  ``repro obs timeline``; ``timeseries=`` streams a
+  ``repro-timeseries/1`` JSONL of throughput, cache-hit and queue-depth
+  samples (:mod:`repro.obs.timeseries`) while the run progresses.
 
 Typical use::
 
@@ -78,7 +86,8 @@ import tempfile
 import time
 from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.analysis.experiments import (
@@ -96,6 +105,8 @@ from repro.etc.store import ETCStore
 from repro.exceptions import ConfigurationError, ReproError
 from repro.obs.metrics import BYTE_BUCKETS, TIME_BUCKETS
 from repro.obs.progress import NULL_PROGRESS
+from repro.obs.spans import SpanContext
+from repro.obs.timeseries import GridSampler
 from repro.obs.tracer import (
     CollectingTracer,
     ObsSnapshot,
@@ -223,15 +234,18 @@ def _run_cell_from_store(
     ``run_experiment(instances_for=...)`` — nothing larger than the cell
     config and the store root ever crosses the process boundary.
     """
-    store = _attached_store(store_root)
+    tracer = get_tracer()
+    with tracer.phase("store.attach"):
+        store = _attached_store(store_root)
 
     def instances_for(het, cons):
         key = store_entry_key(config, het, cons)
-        if key not in store:
-            # Published after this handle last read the manifest
-            # (persistent worker or serial in-process reuse).
-            store.reload()
-        return store.instances(key)
+        with tracer.phase("store.read", entry=key[:12]):
+            if key not in store:
+                # Published after this handle last read the manifest
+                # (persistent worker or serial in-process reuse).
+                store.reload()
+            return store.instances(key)
 
     return run_experiment(config, instances_for=instances_for)
 
@@ -350,7 +364,17 @@ class CellCache:
         records: list[RunRecord],
         snapshot: ObsSnapshot | None,
     ) -> Path:
-        """Persist one completed cell; returns the entry path."""
+        """Persist one completed cell; returns the entry path.
+
+        Spans are stripped from the persisted snapshot: they carry
+        wall-clock values and run-local trace ids, and cache entries
+        must stay byte-identical across runs (the transport suite
+        compares entry files from independent invocations).  A resumed
+        run re-roots cached cells with a synthetic
+        ``runner.cell.cached`` span instead.
+        """
+        if snapshot is not None and snapshot.spans:
+            snapshot = replace(snapshot, spans=())
         payload = {
             "schema": CELL_SCHEMA,
             "key": key,
@@ -457,6 +481,9 @@ class GridResult:
     #: streamed into the store this run vs served from existing entries.
     store_published: int = 0
     store_reused: int = 0
+    #: Headline numbers of the time-series sampler (``timeseries``
+    #: runs only): tasks_scheduled, tasks_per_s, cells_per_s, …
+    timeseries_summary: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -467,16 +494,26 @@ def _compute_cell(
     cell_fn: Callable[[ExperimentConfig], list[RunRecord]],
     config: ExperimentConfig,
     observed: bool,
+    context: SpanContext | None = None,
 ) -> tuple[list[RunRecord], ObsSnapshot | None]:
     """Run one cell, optionally under a fresh isolated collector.
 
     This is the worker entry point (must stay module-level picklable);
     the serial cached path reuses it in-process so cache entries carry
-    the same isolated snapshots either way.
+    the same isolated snapshots either way.  ``context`` is the parent
+    run's :class:`~repro.obs.spans.SpanContext` (cached mode only): the
+    isolated collector adopts its trace id, and the cell runs under one
+    ``runner.cell`` phase span parented at the grid root, so merged
+    worker spans join the parent's trace tree.
     """
     if observed:
-        with use_tracer(CollectingTracer()) as tracer:
-            records = cell_fn(config)
+        tracer = CollectingTracer(context=context)
+        with use_tracer(tracer):
+            if context is not None:
+                with tracer.phase("runner.cell", cell=cell_label(config)):
+                    records = cell_fn(config)
+            else:
+                records = cell_fn(config)
         return records, tracer.snapshot()
     return cell_fn(config), None
 
@@ -485,6 +522,7 @@ def _compute_cells(
     cell_fn: Callable[[ExperimentConfig], list[RunRecord]],
     configs: list[ExperimentConfig],
     observed: bool,
+    context: SpanContext | None = None,
 ) -> list[tuple[list[RunRecord], ObsSnapshot | None, float]]:
     """Run a same-shape batch of cells in one worker round trip.
 
@@ -496,7 +534,7 @@ def _compute_cells(
     out: list[tuple[list[RunRecord], ObsSnapshot | None, float]] = []
     for config in configs:
         started = time.perf_counter()
-        records, snapshot = _compute_cell(cell_fn, config, observed)
+        records, snapshot = _compute_cell(cell_fn, config, observed, context)
         out.append((records, snapshot, time.perf_counter() - started))
     return out
 
@@ -543,6 +581,8 @@ def run_grid(
     on_error: str = "quarantine",
     store_dir: str | Path | None = None,
     stream_chunk: int | None = None,
+    timeseries: str | Path | None = None,
+    sample_interval_s: float = 0.5,
     cell_fn: Callable[[ExperimentConfig], list[RunRecord]] = run_experiment,
 ) -> GridResult:
     """Execute an experiment grid cell-by-cell, resumably.
@@ -580,6 +620,21 @@ def run_grid(
     window (instances held in RAM at a time; default
     ``DEFAULT_STREAM_WINDOW``) and requires ``store_dir``.  Records and
     cache entries are byte-identical to non-store runs.
+
+    ``timeseries`` names a ``repro-timeseries/1`` JSONL file to stream
+    run metrics into (throughput, cache hit rate, RSS, pool queue
+    depth — see :mod:`repro.obs.timeseries`); ``sample_interval_s``
+    throttles the sampling cadence (0 samples on every update).  The
+    sampler writes only to its file, never to the tracer.
+
+    When the caller's tracer is a cache-mode collector, the whole grid
+    additionally runs under one ``runner.grid`` span whose
+    :class:`~repro.obs.spans.SpanContext` is shipped to every worker,
+    so the merged snapshots form a single trace tree — worker spans
+    carry the parent's trace id, cached cells re-root as synthetic
+    ``runner.cell.cached`` spans, and the merged tree is deterministic
+    in cell order (serial and sharded runs produce the same
+    :func:`~repro.obs.spans.tree_shape`).
 
     ``cell_fn`` is the per-cell executor (tests inject failing or
     sleeping stand-ins; it must stay picklable for pooled runs).  It
@@ -622,45 +677,25 @@ def run_grid(
 
     if progress.enabled:
         progress.total = len(cells)
-    progress.start()
+
+    sampler = (
+        GridSampler(
+            timeseries,
+            total_cells=len(cells),
+            tasks_per_record=config.num_tasks,
+            label="run-grid",
+            interval_s=sample_interval_s,
+        )
+        if timeseries is not None
+        else None
+    )
 
     results: dict[int, tuple[list[RunRecord], ObsSnapshot | None]] = {}
     quarantined: list[QuarantinedCell] = []
     cached_cells = 0
+    cached_indices: set[int] = set()
     retried = 0
 
-    # ------------------------------------------------------------------
-    # Phase 1: serve cached / skip poisoned cells.
-    # ------------------------------------------------------------------
-    pending: list[_CellWork] = []
-    for index, (cell, key) in enumerate(zip(cells, keys)):
-        if cache is not None and resume:
-            if cache.is_poisoned(key):
-                quarantined.append(
-                    QuarantinedCell(
-                        label=cell_label(cell),
-                        key=key,
-                        error="previously quarantined (poison marker on disk)",
-                        attempts=0,
-                    )
-                )
-                if count_obs:
-                    tracer.count("runner.cells.quarantined")
-                progress.advance(f"{cell_label(cell)} (quarantined)")
-                continue
-            entry = cache.load(key, need_obs=tracer.enabled)
-            if entry is not None:
-                results[index] = (list(entry.records), entry.snapshot)
-                cached_cells += 1
-                if count_obs:
-                    tracer.count("runner.cells.cached")
-                progress.advance(f"{cell_label(cell)} (cached)")
-                continue
-        pending.append(_CellWork(index=index, config=cell, key=key))
-
-    # ------------------------------------------------------------------
-    # Phase 2: compute the remainder (serial or pooled).
-    # ------------------------------------------------------------------
     def persist_and_record(
         work: _CellWork,
         records: list[RunRecord],
@@ -673,6 +708,8 @@ def run_grid(
         if count_obs:
             tracer.count("runner.cells.computed")
             tracer.observe("runner.cell_wall_s", wall_s, buckets=TIME_BUCKETS)
+        if sampler is not None:
+            sampler.note_cell(records=len(records))
         progress.advance(work.label)
 
     def give_up(work: _CellWork, exc: BaseException) -> None:
@@ -690,137 +727,243 @@ def run_grid(
         )
         if count_obs:
             tracer.count("runner.cells.quarantined")
+        if sampler is not None:
+            sampler.note_cell(quarantined=True)
         progress.advance(f"{work.label} (quarantined)")
 
-    # ------------------------------------------------------------------
-    # Publish phase (store transport): stream each pending cell's
-    # ensemble into the store exactly once, in bounded windows; the pool
-    # then ships only (cell config, store root) descriptors and workers
-    # attach the payload by content key.  Inside the try so an
-    # interrupted publish still releases the parent's store handle.
-    # ------------------------------------------------------------------
     store: ETCStore | None = None
     store_published = 0
     store_reused = 0
+    # One ``runner.grid`` span covers the whole run.  Cache mode only
+    # (``count_obs``) so the legacy wrapper's traced output stays
+    # byte-identical; ``phase`` spans never emit events, so the event
+    # stream contract holds in cache mode too.  The span's context is
+    # shipped to every worker so merged snapshots form one trace tree.
+    grid_cm = (
+        tracer.phase("runner.grid", cells=len(cells))
+        if count_obs
+        else nullcontext()
+    )
     try:
-        if store_dir is not None:
-            store = ETCStore(store_dir)
-            # Transport-only parent-side counters: excluded from the
-            # byte-identity contract (the legacy no-store wrapper never
-            # emits them), so they are gated only on the tracer.
-            ipc_obs = tracer.enabled
-            window = (
-                stream_chunk if stream_chunk is not None else DEFAULT_STREAM_WINDOW
+        with grid_cm:
+            ctx_fn = getattr(tracer, "context", None)
+            grid_context = (
+                ctx_fn() if count_obs and ctx_fn is not None else None
             )
-            for work in pending:
-                cell = work.config
-                het = cell.heterogeneities[0]
-                cons = cell.consistencies[0]
-                entry_key = store_entry_key(cell, het, cons)
-                reused = entry_key in store
-                entry = generate_ensemble_into(
-                    store,
-                    entry_key,
-                    cell.instances_per_cell,
-                    cell.num_tasks,
-                    cell.num_machines,
-                    heterogeneity=het,
-                    consistency=cons,
-                    method=cell.generation_method,
-                    rng=cell_instance_rng(cell, het, cons),
-                    window=window,
-                )
-                if reused:
-                    store_reused += 1
-                else:
-                    store_published += 1
-                if ipc_obs:
-                    if reused:
-                        tracer.count("store.cells_reused")
-                    else:
-                        tracer.count("store.cells_published")
-                        tracer.count("store.bytes_written", entry.nbytes)
-                    # Payload served zero-copy vs what actually crosses
-                    # the pipe per cell — the transport win in bytes.
-                    tracer.observe(
-                        "runner.ipc.payload_bytes",
-                        entry.nbytes,
-                        buckets=BYTE_BUCKETS,
-                    )
-                    tracer.observe(
-                        "runner.ipc.descriptor_bytes",
-                        len(pickle.dumps((cell, str(store.root)))),
-                        buckets=BYTE_BUCKETS,
-                    )
-            cell_fn = functools.partial(
-                _run_cell_from_store, store_root=str(store.root)
-            )
+            progress.start()
 
-        # Pack pending cells into submission units.  ``batch_size=None``
-        # keeps the historical one-cell-per-submission behaviour exactly.
-        if batch_size is None:
-            units = [_BatchWork(works=[work]) for work in pending]
-        else:
-            units = [
-                _BatchWork(works=group)
-                for group in pack_same_shape_batches(
-                    pending, batch_size, key=lambda work: _cell_shape(work.config)
-                )
-            ]
-            if count_obs:
-                for unit in units:
-                    tracer.count("runner.batch.submitted")
-                    tracer.observe("runner.batch.size", len(unit.works))
-                    tracer.observe(
-                        "runner.batch.fill_pct", 100.0 * len(unit.works) / batch_size
-                    )
-
-        serial = len(pending) <= 1 or max_workers == 1
-        if serial:
-            pending = [work for unit in units for work in unit.works]
-            # Isolate per-cell collection only when the cache needs a
-            # snapshot to persist; otherwise run under the caller's
-            # tracer directly, exactly like the legacy serial path.
-            isolate = cache is not None and tracer.enabled
-            for work in pending:
-                while True:
-                    started = time.perf_counter()
-                    try:
-                        if isolate:
-                            records, snapshot = _compute_cell(
-                                cell_fn, work.config, observed=True
+            # ----------------------------------------------------------
+            # Phase 1: serve cached / skip poisoned cells.  Inside the
+            # try so even a corrupt cache entry raising mid-scan still
+            # flushes the progress line in the ``finally`` below.
+            # ----------------------------------------------------------
+            pending: list[_CellWork] = []
+            for index, (cell, key) in enumerate(zip(cells, keys)):
+                if cache is not None and resume:
+                    if cache.is_poisoned(key):
+                        quarantined.append(
+                            QuarantinedCell(
+                                label=cell_label(cell),
+                                key=key,
+                                error=(
+                                    "previously quarantined "
+                                    "(poison marker on disk)"
+                                ),
+                                attempts=0,
                             )
+                        )
+                        if count_obs:
+                            tracer.count("runner.cells.quarantined")
+                        if sampler is not None:
+                            sampler.note_cell(quarantined=True)
+                        progress.advance(f"{cell_label(cell)} (quarantined)")
+                        continue
+                    entry = cache.load(key, need_obs=tracer.enabled)
+                    if entry is not None:
+                        results[index] = (list(entry.records), entry.snapshot)
+                        cached_cells += 1
+                        cached_indices.add(index)
+                        if count_obs:
+                            tracer.count("runner.cells.cached")
+                        if sampler is not None:
+                            sampler.note_cell(
+                                records=len(entry.records), cached=True
+                            )
+                        progress.advance(f"{cell_label(cell)} (cached)")
+                        continue
+                pending.append(_CellWork(index=index, config=cell, key=key))
+
+            # ----------------------------------------------------------
+            # Publish phase (store transport): stream each pending
+            # cell's ensemble into the store exactly once, in bounded
+            # windows; the pool then ships only (cell config, store
+            # root) descriptors and workers attach the payload by
+            # content key.  Inside the try so an interrupted publish
+            # still releases the parent's store handle.
+            # ----------------------------------------------------------
+            if store_dir is not None:
+                store = ETCStore(store_dir)
+                # Transport-only parent-side counters: excluded from
+                # the byte-identity contract (the legacy no-store
+                # wrapper never emits them), so they are gated only on
+                # the tracer.
+                ipc_obs = tracer.enabled
+                window = (
+                    stream_chunk
+                    if stream_chunk is not None
+                    else DEFAULT_STREAM_WINDOW
+                )
+                publish_cm = (
+                    tracer.phase("runner.publish", cells=len(pending))
+                    if count_obs
+                    else nullcontext()
+                )
+                with publish_cm:
+                    for work in pending:
+                        cell = work.config
+                        het = cell.heterogeneities[0]
+                        cons = cell.consistencies[0]
+                        entry_key = store_entry_key(cell, het, cons)
+                        reused = entry_key in store
+                        entry = generate_ensemble_into(
+                            store,
+                            entry_key,
+                            cell.instances_per_cell,
+                            cell.num_tasks,
+                            cell.num_machines,
+                            heterogeneity=het,
+                            consistency=cons,
+                            method=cell.generation_method,
+                            rng=cell_instance_rng(cell, het, cons),
+                            window=window,
+                        )
+                        if reused:
+                            store_reused += 1
                         else:
-                            records, snapshot = cell_fn(work.config), None
-                    except Exception as exc:
-                        work.attempts += 1
-                        if work.attempts <= retries:
-                            retried += 1
-                            if count_obs:
-                                tracer.count("runner.cells.retried")
-                            continue
-                        give_up(work, exc)
-                        break
-                    persist_and_record(
-                        work, records, snapshot, time.perf_counter() - started
+                            store_published += 1
+                        if ipc_obs:
+                            if reused:
+                                tracer.count("store.cells_reused")
+                            else:
+                                tracer.count("store.cells_published")
+                                tracer.count("store.bytes_written", entry.nbytes)
+                            # Payload served zero-copy vs what actually
+                            # crosses the pipe per cell — the transport
+                            # win in bytes.
+                            tracer.observe(
+                                "runner.ipc.payload_bytes",
+                                entry.nbytes,
+                                buckets=BYTE_BUCKETS,
+                            )
+                            tracer.observe(
+                                "runner.ipc.descriptor_bytes",
+                                len(pickle.dumps((cell, str(store.root)))),
+                                buckets=BYTE_BUCKETS,
+                            )
+                if sampler is not None:
+                    sampler.note_store(
+                        published=store_published, reused=store_reused
                     )
-                    break
-        else:
-            retried += _run_pooled(
-                units,
-                cell_fn=cell_fn,
-                max_workers=max_workers,
-                shards=shards,
-                timeout_s=timeout_s,
-                retries=retries,
-                observed=tracer.enabled,
-                persist_and_record=persist_and_record,
-                give_up=give_up,
-                tracer=tracer,
-                count_obs=count_obs,
-            )
+                cell_fn = functools.partial(
+                    _run_cell_from_store, store_root=str(store.root)
+                )
+
+            # Pack pending cells into submission units.
+            # ``batch_size=None`` keeps the historical
+            # one-cell-per-submission behaviour exactly.
+            if batch_size is None:
+                units = [_BatchWork(works=[work]) for work in pending]
+            else:
+                units = [
+                    _BatchWork(works=group)
+                    for group in pack_same_shape_batches(
+                        pending,
+                        batch_size,
+                        key=lambda work: _cell_shape(work.config),
+                    )
+                ]
+                if count_obs:
+                    for unit in units:
+                        tracer.count("runner.batch.submitted")
+                        tracer.observe("runner.batch.size", len(unit.works))
+                        tracer.observe(
+                            "runner.batch.fill_pct",
+                            100.0 * len(unit.works) / batch_size,
+                        )
+
+            serial = len(pending) <= 1 or max_workers == 1
+            if serial:
+                pending = [work for unit in units for work in unit.works]
+                # Isolate per-cell collection only when the cache needs
+                # a snapshot to persist; otherwise run under the
+                # caller's tracer directly, exactly like the legacy
+                # serial path.
+                isolate = cache is not None and tracer.enabled
+                for work in pending:
+                    while True:
+                        started = time.perf_counter()
+                        try:
+                            if isolate:
+                                records, snapshot = _compute_cell(
+                                    cell_fn,
+                                    work.config,
+                                    observed=True,
+                                    context=grid_context,
+                                )
+                            else:
+                                records, snapshot = cell_fn(work.config), None
+                        except Exception as exc:
+                            work.attempts += 1
+                            if work.attempts <= retries:
+                                retried += 1
+                                if count_obs:
+                                    tracer.count("runner.cells.retried")
+                                continue
+                            give_up(work, exc)
+                            break
+                        persist_and_record(
+                            work, records, snapshot, time.perf_counter() - started
+                        )
+                        break
+            else:
+                retried += _run_pooled(
+                    units,
+                    cell_fn=cell_fn,
+                    max_workers=max_workers,
+                    shards=shards,
+                    timeout_s=timeout_s,
+                    retries=retries,
+                    observed=tracer.enabled,
+                    persist_and_record=persist_and_record,
+                    give_up=give_up,
+                    tracer=tracer,
+                    count_obs=count_obs,
+                    context=grid_context,
+                    sampler=sampler,
+                )
+
+            # Merge every isolated snapshot (cached or freshly
+            # computed) in cell order, so the caller's traced stream is
+            # independent of completion order and of the cache hit
+            # pattern.  Still inside the grid span, so merged worker
+            # spans re-attach under ``runner.grid``; cached cells
+            # (their spans are stripped before persisting, keeping
+            # entry files byte-stable) re-enter the tree as synthetic
+            # ``runner.cell.cached`` spans.
+            if tracer.enabled:
+                for index in sorted(results):
+                    if count_obs and index in cached_indices:
+                        with tracer.phase(
+                            "runner.cell.cached", cell=cell_label(cells[index])
+                        ):
+                            pass
+                    snapshot = results[index][1]
+                    if snapshot is not None:
+                        tracer.merge_snapshot(snapshot)
     finally:
         progress.finish()
+        if sampler is not None:
+            sampler.close()
         # Release the parent's transport handles whatever happened
         # above: the publisher's memmaps/manifest handle, and (serial
         # in-process runs) the attached worker-side cache — so aborted
@@ -828,15 +971,6 @@ def run_grid(
         if store is not None:
             store.close()
             _detach_stores(str(store.root))
-
-    # Merge every isolated snapshot (cached or freshly computed) in
-    # cell order, so the caller's traced stream is independent of
-    # completion order and of the cache hit pattern.
-    if tracer.enabled:
-        for index in sorted(results):
-            snapshot = results[index][1]
-            if snapshot is not None:
-                tracer.merge_snapshot(snapshot)
 
     records: list[RunRecord] = []
     for index in range(len(cells)):
@@ -851,6 +985,7 @@ def run_grid(
         quarantined=tuple(quarantined),
         store_published=store_published,
         store_reused=store_reused,
+        timeseries_summary=sampler.summary() if sampler is not None else None,
     )
 
 
@@ -867,6 +1002,8 @@ def _run_pooled(
     give_up,
     tracer,
     count_obs: bool,
+    context=None,
+    sampler=None,
 ) -> int:
     """Drive the process pool: shard-interleaved submission, completion-
     order persistence, parent-side timeouts, bounded retries.
@@ -876,7 +1013,10 @@ def _run_pooled(
     Retries and timeouts apply per unit (a failed batch re-runs whole).
     Returns the retry count.  Snapshots are *not* merged here — the
     caller merges every snapshot in cell order afterwards so traced
-    output stays deterministic.
+    output stays deterministic.  ``context`` is the parent's
+    :class:`~repro.obs.spans.SpanContext`, forwarded verbatim to worker
+    tracers; ``sampler`` (a :class:`~repro.obs.timeseries.GridSampler`)
+    gets queue-depth updates as pool occupancy changes.
     """
     num_shards = shards if shards is not None else len(units)
     order = [unit for shard in split_into_shards(units, num_shards) for unit in shard]
@@ -890,7 +1030,7 @@ def _run_pooled(
             unit.submitted_at = time.perf_counter()
             if len(unit.works) == 1:
                 future = pool.submit(
-                    _compute_cell, cell_fn, unit.works[0].config, observed
+                    _compute_cell, cell_fn, unit.works[0].config, observed, context
                 )
             else:
                 future = pool.submit(
@@ -898,8 +1038,11 @@ def _run_pooled(
                     cell_fn,
                     [work.config for work in unit.works],
                     observed,
+                    context,
                 )
             in_flight[future] = unit
+            if sampler is not None:
+                sampler.set_queue_depth(len(in_flight))
 
         def retry_or_give_up(unit: _BatchWork, exc: BaseException) -> int:
             unit.attempts += 1
@@ -941,6 +1084,8 @@ def _run_pooled(
                         unit.works, outcome
                     ):
                         persist_and_record(work, cell_records, snapshot, wall_s)
+            if done and sampler is not None:
+                sampler.set_queue_depth(len(in_flight))
 
             if timeout_s is None:
                 continue

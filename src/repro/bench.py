@@ -42,6 +42,7 @@ __all__ = [
     "SCHEMA",
     "DEFAULT_TOLERANCE",
     "DEFAULT_SPEEDUP_TOLERANCE",
+    "TRACING_OVERHEAD_BUDGET",
     "BenchOptions",
     "Workload",
     "WORKLOADS",
@@ -468,6 +469,59 @@ def _streamed_generation_workload(options: BenchOptions):
     return run, run_reference
 
 
+#: Hard ceiling on the instrumented-vs-null-tracer wall-clock ratio of
+#: the iterative workload.  Tracing a 512x32 iterative run measures
+#: ~1.7x (the event stream dominates); the budget is deliberately loose
+#: so shared-runner noise never trips it while a pathological tracer
+#: regression (accidental per-event quadratic work, spans on the null
+#: path) still fails the bench loudly.
+TRACING_OVERHEAD_BUDGET = 3.0
+
+
+def _tracing_overhead_workload(options: BenchOptions):
+    """Instrumented-vs-null-tracer cost of the full iterative run.
+
+    The optimised thunk runs the 512x32 (64x8 smoke) iterative
+    technique under a fresh :class:`~repro.obs.tracer.CollectingTracer`
+    (events, counters, histograms, spans all live); the reference thunk
+    runs the identical schedule under the default null tracer, so the
+    ``speedup`` column is *null / instrumented* — the fraction of null
+    throughput the instrumentation retains.  ``build`` additionally
+    measures a best-of-3 pair up front and **fails the bench** when the
+    ratio exceeds :data:`TRACING_OVERHEAD_BUDGET`, making the gate
+    self-contained (no baseline file needed) for CI smoke runs.
+    """
+    from repro.core.iterative import IterativeScheduler
+    from repro.heuristics.minmin import MinMin
+    from repro.obs.tracer import CollectingTracer, use_tracer
+
+    etc = _bench_etc(options.smoke)
+    scheduler = IterativeScheduler(MinMin(incremental=True))
+
+    def run():
+        with use_tracer(CollectingTracer()):
+            return scheduler.run(etc)
+
+    def run_reference():
+        return scheduler.run(etc)
+
+    def best_of(thunk, n=3):
+        return min(_time_thunk(thunk, n)["samples"])
+
+    null_s = best_of(run_reference)
+    instrumented_s = best_of(run)
+    ratio = instrumented_s / null_s if null_s > 0 else float("inf")
+    if ratio > TRACING_OVERHEAD_BUDGET:
+        raise ConfigurationError(
+            f"tracing overhead {ratio:.2f}x exceeds the "
+            f"{TRACING_OVERHEAD_BUDGET:.1f}x budget "
+            f"(instrumented {instrumented_s * 1e3:.2f} ms vs null "
+            f"{null_s * 1e3:.2f} ms on "
+            f"{etc.num_tasks}x{etc.num_machines})"
+        )
+    return run, run_reference
+
+
 def _make_minmin(**kwargs):
     from repro.heuristics.minmin import MinMin
 
@@ -542,6 +596,13 @@ WORKLOADS: tuple[Workload, ...] = (
         "8-worker pool (8 cells / 2 workers in smoke mode) vs pickling "
         "the same arrays through the pool pipes (the reference variant)",
         _shm_grid_workload,
+    ),
+    Workload(
+        "tracing-overhead",
+        "Iterative 512x32 run under a live CollectingTracer vs the null "
+        "tracer (the reference variant); fails the bench when the "
+        "overhead ratio exceeds the checked-in budget",
+        _tracing_overhead_workload,
     ),
     Workload(
         "streamed-generation",

@@ -11,11 +11,13 @@ Usage (after install)::
     python -m repro simulate --faults --failures 3 --recovery remap
     python -m repro study    --faults --heuristics min-min --instances 5
     python -m repro run-grid --heterogeneities hihi,lolo --resume
+    python -m repro run-grid --trace-out trace.jsonl --timeseries ts.jsonl
     python -m repro trace    --example min-min
     python -m repro bench    --baseline BENCH_baseline.json --append-ledger
-    python -m repro obs      tail
+    python -m repro obs      tail --follow
     python -m repro obs      summary
     python -m repro obs      diff -2 -1
+    python -m repro obs      timeline trace.jsonl --html trace.html
     python -m repro paper
 
 Every subcommand accepts ``--seed`` and is fully reproducible.  The
@@ -31,6 +33,7 @@ resumable cached runner (see :mod:`repro.analysis.runner`).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from collections.abc import Sequence
@@ -688,7 +691,7 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         backend=args.backend,
     )
     cache_dir = None if args.no_cache else args.cache_dir
-    with _maybe_collect(args.append_ledger) as tracer:
+    with _maybe_collect(args.append_ledger or bool(args.trace_out)) as tracer:
         result = run_grid(
             config,
             max_workers=args.workers,
@@ -701,6 +704,8 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
             retries=args.retries,
             store_dir=args.store_dir,
             stream_chunk=args.stream_chunk,
+            timeseries=args.timeseries,
+            sample_interval_s=args.sample_interval,
         )
     print(f"grid: {result.total_cells} cell(s) — "
           f"{result.cached_cells} cached, {result.computed_cells} computed, "
@@ -709,6 +714,17 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
     if args.store_dir is not None:
         print(f"store: {result.store_published} ensemble(s) published, "
               f"{result.store_reused} reused from {args.store_dir}")
+    if args.trace_out and tracer is not None:
+        from repro.obs import write_jsonl
+
+        lines = write_jsonl(tracer, args.trace_out)
+        print(f"trace: wrote {lines} JSONL records to {args.trace_out} "
+              "(render with `repro obs timeline`)")
+    if result.timeseries_summary is not None:
+        ts = result.timeseries_summary
+        print(f"timeseries: {ts['samples']} sample(s) to {ts['path']} — "
+              f"{ts['tasks_per_s']:.6g} tasks scheduled/s, "
+              f"{100 * ts['cache_hit_rate']:.0f}% cache hits")
     for q in result.quarantined:
         print(f"quarantined: {q.label} [{q.key[:12]}] after "
               f"{q.attempts} attempt(s): {q.error}", file=sys.stderr)
@@ -749,11 +765,24 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
             metrics["non_makespan_improvement_mean"] = float(
                 np.mean([c.mean_delta for c in comparisons])
             )
+        # Headline throughput: every record schedules the cell's full
+        # task set once, so records x tasks over the wall clock is the
+        # grid-level tasks-scheduled-per-second figure.
+        duration = time.perf_counter() - started
+        tasks_scheduled = len(result.records) * args.tasks
+        metrics["tasks_scheduled"] = tasks_scheduled
+        metrics["tasks_scheduled_per_s"] = (
+            tasks_scheduled / duration if duration > 0 else 0.0
+        )
         extra = None
-        if tracer is not None:
-            extra = {
-                "histograms": histogram_summaries(tracer.histograms.as_dict())
-            }
+        if tracer is not None or result.timeseries_summary is not None:
+            extra = {}
+            if tracer is not None:
+                extra["histograms"] = histogram_summaries(
+                    tracer.histograms.as_dict()
+                )
+            if result.timeseries_summary is not None:
+                extra["timeseries"] = result.timeseries_summary
         _ledger_append(
             args,
             "run-grid",
@@ -1019,17 +1048,33 @@ def cmd_paper(args: argparse.Namespace) -> int:
 # obs subcommand family — inspect the run ledger
 # ----------------------------------------------------------------------
 def cmd_obs_tail(args: argparse.Namespace) -> int:
-    """Print the last N ledger records, one line each."""
-    from repro.obs.ledger import RunLedger, format_record_line
+    """Print the last N ledger records; ``--follow`` keeps polling."""
+    from repro.obs.ledger import RunLedger, follow_records, format_record_line
 
     ledger = RunLedger(args.ledger)
     records = ledger.tail(args.last)
-    if not records:
+    if not records and not args.follow:
         print(f"ledger {ledger.path} is empty "
               "(run e.g. `repro bench --append-ledger`)")
         return 0
     for record in records:
-        print(format_record_line(record))
+        print(format_record_line(record), flush=True)
+    if args.follow:
+        # The poll loop re-reads the whole ledger, so skip the records
+        # that already existed (the tail above showed the newest ones).
+        preexisting = len(ledger.read()) if ledger.exists() else 0
+        emitted = 0
+
+        def emit(record: dict) -> None:
+            nonlocal emitted
+            emitted += 1
+            if emitted > preexisting:
+                print(format_record_line(record), flush=True)
+
+        try:
+            follow_records(ledger, emit, interval_s=args.interval)
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -1045,6 +1090,38 @@ def cmd_obs_summary(args: argparse.Namespace) -> int:
         print("obs counter totals across runs:")
         for name, value in sorted(totals.items()):
             print(f"  {name:<44} {value}")
+    latest = next(
+        (
+            r
+            for r in reversed(records)
+            if isinstance(r.get("extra"), dict) and r["extra"].get("histograms")
+        ),
+        None,
+    )
+    if latest is not None:
+        def fmt(value) -> str:
+            return f"{value:.6g}" if isinstance(value, (int, float)) else "-"
+
+        print()
+        print(f"histogram percentiles (latest run {latest['run_id']}):")
+        for name, stats in sorted(latest["extra"]["histograms"].items()):
+            print(f"  {name:<36} p50={fmt(stats.get('p50')):<10} "
+                  f"p95={fmt(stats.get('p95')):<10} "
+                  f"max={fmt(stats.get('max')):<10} "
+                  f"n={stats.get('count')}")
+    return 0
+
+
+def cmd_obs_timeline(args: argparse.Namespace) -> int:
+    """Render a span timeline from an exported trace JSONL file."""
+    from repro.obs import read_jsonl, spans_from_records
+    from repro.obs.timeline import render_timeline, write_timeline_html
+
+    spans = spans_from_records(read_jsonl(args.trace))
+    print(render_timeline(spans, width=args.width))
+    if args.html:
+        path = write_timeline_html(spans, args.html)
+        print(f"\nhtml timeline written to {path}")
     return 0
 
 
@@ -1297,6 +1374,17 @@ def build_parser() -> argparse.ArgumentParser:
                          "RAM at a time (requires --store)")
     rg.add_argument("--progress", action="store_true",
                     help="live per-cell progress (with ETA) on stderr")
+    rg.add_argument("--trace-out", metavar="PATH", default=None,
+                    help="collect a trace (even without --append-ledger) and "
+                         "export it as obs JSONL, spans included; render "
+                         "with `repro obs timeline PATH`")
+    rg.add_argument("--timeseries", metavar="PATH", default=None,
+                    help="stream repro-timeseries/1 throughput samples "
+                         "(tasks/s, cache hits, RSS, queue depth) to PATH "
+                         "while the grid runs")
+    rg.add_argument("--sample-interval", type=float, default=0.5,
+                    help="minimum seconds between time-series samples "
+                         "(default: %(default)s)")
     rg.add_argument("-o", "--output",
                     help="write per-run records to CSV/JSON")
     rg.add_argument("--seed", type=int, default=0, help="master RNG seed")
@@ -1371,8 +1459,26 @@ def build_parser() -> argparse.ArgumentParser:
     ot = osub.add_parser("tail", help="print the most recent ledger records")
     ot.add_argument("-n", "--last", type=int, default=10,
                     help="how many records (default: %(default)s)")
+    ot.add_argument("-f", "--follow", action="store_true",
+                    help="keep polling the ledger and print records as they "
+                         "are appended (Ctrl-C to stop)")
+    ot.add_argument("--interval", type=float, default=2.0,
+                    help="poll interval in seconds for --follow "
+                         "(default: %(default)s)")
     add_obs_common(ot)
     ot.set_defaults(func=cmd_obs_tail)
+
+    otl = osub.add_parser(
+        "timeline",
+        help="render a flamegraph-style span timeline from an exported "
+             "trace JSONL (see run-grid --trace-out)",
+    )
+    otl.add_argument("trace", help="obs JSONL export containing span records")
+    otl.add_argument("--width", type=int, default=100,
+                     help="ASCII timeline width (default: %(default)s)")
+    otl.add_argument("--html", metavar="PATH", default=None,
+                     help="also write a self-contained HTML timeline to PATH")
+    otl.set_defaults(func=cmd_obs_timeline)
 
     os_ = osub.add_parser("summary",
                           help="longitudinal metric summary per command")
@@ -1411,6 +1517,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pager/filter (e.g. ``| head``) closed the pipe.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time, and exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -275,7 +275,17 @@ class IterativeScheduler:
 
         while True:
             ready_vec = [ready_by_machine[m] for m in current_etc.machines]
-            mapping = self._map_iteration(current_etc, ready_vec, previous_mapping)
+            # Span-only phase: one timeline row per freeze/remap pass,
+            # without adding events (the freeze event below is the
+            # byte-identity-tested record of this iteration).
+            with tracer.phase(
+                "iterative.map",
+                iteration=len(records),
+                machines=current_etc.num_machines,
+            ):
+                mapping = self._map_iteration(
+                    current_etc, ready_vec, previous_mapping
+                )
             if self.freeze_policy is None:
                 frozen_machine = mapping.makespan_machine(self.makespan_tie_breaker)
             else:

@@ -3,6 +3,9 @@
 JSONL schema (one JSON object per line, stable key order):
 
 * ``{"type": "event", "seq": int, "kind": str, "fields": {...}}``
+* ``{"type": "span", "seq": int, "span_id": str, "parent_id":
+  str | null, "trace_id": str, "kind": str, "fields": {...},
+  "start_unix": float, "duration_s": float}``
 * ``{"type": "counter", "name": str, "value": int}``
 * ``{"type": "gauge", "name": str, "value": float}``
 * ``{"type": "histogram", "name": str, "buckets": [...], "counts":
@@ -10,9 +13,10 @@ JSONL schema (one JSON object per line, stable key order):
 * ``{"type": "timer", "name": str, "count": int, "total": float,
   "min": float, "max": float}``
 
-Events come first (in sequence order), then counters, gauges,
-histograms and timers, each section in sorted-name order, so exporting
-the same snapshot twice yields byte-identical files.  Field values must
+Events come first (in sequence order), then spans (in span-seq
+order), then counters, gauges, histograms and timers, each metric
+section in sorted-name order, so exporting the same snapshot twice
+yields byte-identical files.  Field values must
 be JSON-encodable; the instrumentation emits only strings, numbers,
 booleans, ``None`` and lists/tuples of those (tuples serialise as JSON
 arrays).  :func:`records_to_snapshot` inverts the export: events,
@@ -28,10 +32,12 @@ from collections.abc import Iterable
 from pathlib import Path
 
 from repro.obs.metrics import HistogramStat, TimerStat
+from repro.obs.spans import SpanRecord, span_from_dict, span_to_dict
 from repro.obs.tracer import CollectingTracer, ObsSnapshot, TraceEvent
 
 __all__ = [
     "event_to_dict",
+    "span_to_record",
     "snapshot_to_jsonl",
     "write_jsonl",
     "read_jsonl",
@@ -63,11 +69,21 @@ def event_to_dict(event: TraceEvent) -> dict:
     }
 
 
+def span_to_record(span: SpanRecord) -> dict:
+    """The JSONL object for one span (see module docstring schema)."""
+    record = span_to_dict(span)
+    record["fields"] = {k: _jsonable(v) for k, v in record["fields"].items()}
+    record["type"] = "span"
+    return record
+
+
 def snapshot_to_jsonl(snapshot: ObsSnapshot | CollectingTracer) -> str:
     """Serialise a snapshot (or live tracer) to JSONL text."""
     if isinstance(snapshot, CollectingTracer):
         snapshot = snapshot.snapshot()
     lines = [json.dumps(event_to_dict(e), sort_keys=True) for e in snapshot.events]
+    for span in sorted(snapshot.spans, key=lambda s: s.seq):
+        lines.append(json.dumps(span_to_record(span), sort_keys=True))
     for name, value in snapshot.counters.items():
         lines.append(
             json.dumps(
@@ -138,6 +154,7 @@ def records_to_snapshot(records: Iterable[dict]) -> ObsSnapshot:
     matches how :func:`event_to_dict` compares streams).
     """
     events: list[TraceEvent] = []
+    spans: list[SpanRecord] = []
     counters: dict[str, int] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, HistogramStat] = {}
@@ -148,6 +165,8 @@ def records_to_snapshot(records: Iterable[dict]) -> ObsSnapshot:
             events.append(
                 TraceEvent(record["seq"], record["kind"], dict(record["fields"]))
             )
+        elif kind == "span":
+            spans.append(span_from_dict(record))
         elif kind == "counter":
             counters[record["name"]] = record["value"]
         elif kind == "gauge":
@@ -171,12 +190,14 @@ def records_to_snapshot(records: Iterable[dict]) -> ObsSnapshot:
         else:
             raise ValueError(f"unknown obs JSONL record type {kind!r}")
     events.sort(key=lambda e: e.seq)
+    spans.sort(key=lambda s: s.seq)
     return ObsSnapshot(
         events=tuple(events),
         counters=counters,
         timers=timers,
         histograms=histograms,
         gauges=gauges,
+        spans=tuple(spans),
     )
 
 

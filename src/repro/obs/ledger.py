@@ -38,6 +38,7 @@ import hashlib
 import json
 import platform
 import subprocess
+import time
 from collections.abc import Iterable, Sequence
 from datetime import datetime, timezone
 from pathlib import Path
@@ -58,6 +59,7 @@ __all__ = [
     "is_lower_better",
     "collect_counters",
     "histogram_summaries",
+    "follow_records",
 ]
 
 #: Ledger format identifier; bump when the record layout changes.
@@ -394,9 +396,10 @@ def histogram_summaries(histograms) -> dict[str, dict[str, float]]:
 
     Takes the ``{name: HistogramStat}`` mapping of an
     :class:`~repro.obs.tracer.ObsSnapshot` and keeps only the JSON-able
-    aggregate (count / sum / mean / min / max) per histogram — bucket
-    vectors stay in trace exports, the ledger records the headline
-    shape.  Empty histograms (count 0) are dropped.
+    aggregate (count / sum / mean / min / max plus the bucket-estimated
+    p50 / p95) per histogram — bucket vectors stay in trace exports,
+    the ledger records the headline shape.  Empty histograms (count 0)
+    are dropped.
     """
     summaries: dict[str, dict[str, float]] = {}
     for name in sorted(histograms):
@@ -409,6 +412,8 @@ def histogram_summaries(histograms) -> dict[str, dict[str, float]]:
             "mean": stat.sum / stat.count,
             "min": stat.min,
             "max": stat.max,
+            "p50": stat.quantile(0.5),
+            "p95": stat.quantile(0.95),
         }
     return summaries
 
@@ -421,3 +426,41 @@ def collect_counters(records: Iterable[dict]) -> dict[str, int]:
             if isinstance(value, int):
                 totals[name] = totals.get(name, 0) + value
     return totals
+
+
+def follow_records(
+    ledger: RunLedger,
+    emit,
+    *,
+    interval_s: float = 2.0,
+    max_polls: int | None = None,
+    sleep=time.sleep,
+) -> int:
+    """Poll ``ledger`` and call ``emit(record)`` for every new record.
+
+    The poll loop behind ``repro obs tail --follow``: it remembers how
+    many records it has seen and, every ``interval_s`` seconds, emits
+    exactly the records appended since — a missing ledger file simply
+    means "nothing yet", so following can start before the first run
+    lands.  Runs until interrupted, or for ``max_polls`` polls when
+    given (the testable bound); returns the number of records emitted.
+    """
+    if interval_s <= 0:
+        raise ConfigurationError(
+            f"follow interval must be > 0, got {interval_s}"
+        )
+    if max_polls is not None and max_polls < 1:
+        raise ConfigurationError(f"max_polls must be >= 1, got {max_polls}")
+    seen = 0
+    emitted = 0
+    polls = 0
+    while True:
+        records = ledger.read() if ledger.exists() else []
+        for record in records[seen:]:
+            emit(record)
+            emitted += 1
+        seen = len(records)
+        polls += 1
+        if max_polls is not None and polls >= max_polls:
+            return emitted
+        sleep(interval_s)

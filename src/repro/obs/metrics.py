@@ -257,6 +257,34 @@ class HistogramStat:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the bucket counts.
+
+        Walks the cumulative counts to the bucket holding the target
+        rank and interpolates linearly within it; the estimate is
+        clamped to the observed ``[min, max]`` so it never invents
+        values outside the data, and the overflow bucket resolves to
+        ``max``.  Returns ``0.0`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.buckets):  # overflow bucket
+                    return self.max
+                hi = self.buckets[index]
+                lo = self.buckets[index - 1] if index else min(self.min, hi)
+                fraction = (rank - previous) / bucket_count
+                estimate = lo + (hi - lo) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
 
 class Histograms:
     """Named fixed-bucket histograms (merge-deterministic)."""

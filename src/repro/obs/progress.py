@@ -70,6 +70,7 @@ class ProgressReporter:
         self._clock = clock
         self._started_at: float | None = None
         self._last_render_at: float | None = None
+        self._finished = False
         self.done = 0
 
     # ------------------------------------------------------------------
@@ -78,6 +79,7 @@ class ProgressReporter:
         self._started_at = self._clock()
         self.done = 0
         self._last_render_at = None
+        self._finished = False
         self._render(current="", force=True)
         return self
 
@@ -89,9 +91,15 @@ class ProgressReporter:
         self._render(current=current)
 
     def finish(self) -> None:
-        """Render the final state and terminate the in-place line."""
-        if self._started_at is None:
+        """Render the final state and terminate the in-place line.
+
+        Idempotent: a second call (e.g. an explicit flush followed by
+        the runner's unconditional ``finally``) is a no-op, so cleanup
+        paths can always call it without double-printing.
+        """
+        if self._started_at is None or getattr(self, "_finished", False):
             return
+        self._finished = True
         self._render(current="done", force=True)
         if self._isatty():
             self._stream.write("\n")

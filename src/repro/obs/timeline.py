@@ -1,0 +1,168 @@
+"""Flamegraph-style rendering of a span tree (ASCII and HTML).
+
+``repro obs timeline trace.jsonl`` feeds the span records of an
+exported obs JSONL file (``run-grid --trace-out``) through
+:func:`render_timeline`: one row per span in depth-first order, the
+bar positioned on a shared wall-clock axis scaled to the trace extent,
+indentation showing the parent/child nesting — publish, worker
+attach, kernel batches and persist become visibly sequential or
+overlapping at a glance.  :func:`render_timeline_html` emits the same
+tree as a self-contained HTML page with hover titles.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.obs.spans import SpanNode, build_span_tree
+
+__all__ = [
+    "render_timeline",
+    "render_timeline_html",
+    "write_timeline_html",
+]
+
+_BAR = "█"  # full block
+_PAD = "·"  # middle dot
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _extent(roots: list[SpanNode]) -> tuple[float, float]:
+    start = min(node.span.start_unix for _, node in _walk(roots))
+    end = max(node.span.end_unix for _, node in _walk(roots))
+    return start, max(end, start)
+
+
+def _walk(roots: list[SpanNode]):
+    for root in roots:
+        yield from root.walk()
+
+
+def render_timeline(spans, *, width: int = 100) -> str:
+    """ASCII timeline of a span forest.
+
+    ``width`` is the total line width budget; the bar area gets what is
+    left after the label column.  Raises
+    :class:`~repro.exceptions.ConfigurationError` when ``spans`` holds
+    no span records — a trace exported without spans is a user error
+    worth a loud message, not an empty chart.
+    """
+    spans = list(spans)
+    if not spans:
+        raise ConfigurationError(
+            "no span records to render — export the trace with spans "
+            "(run-grid --trace-out) or pass a file produced by write_jsonl "
+            "of a collecting tracer"
+        )
+    if width < 40:
+        raise ConfigurationError(f"timeline width must be >= 40, got {width}")
+    roots = build_span_tree(spans)
+    t0, t1 = _extent(roots)
+    total = max(t1 - t0, 1e-9)
+
+    rows = []
+    label_width = 0
+    for depth, node in _walk(roots):
+        label = "  " * depth + node.span.kind
+        label_width = max(label_width, len(label))
+        rows.append((depth, node, label))
+    label_width = min(label_width, max(20, width // 2))
+    bar_width = max(10, width - label_width - 18)
+
+    trace_id = roots[0].span.trace_id if roots else "?"
+    lines = [
+        f"trace {trace_id} — {len(rows)} span(s), "
+        f"{_fmt_duration(total)} total",
+        "",
+    ]
+    for _, node, label in rows:
+        span = node.span
+        begin = int((span.start_unix - t0) / total * bar_width)
+        length = max(1, round(span.duration_s / total * bar_width))
+        begin = min(begin, bar_width - 1)
+        length = min(length, bar_width - begin)
+        bar = _PAD * begin + _BAR * length + _PAD * (bar_width - begin - length)
+        lines.append(
+            f"{label:<{label_width}.{label_width}} "
+            f"|{bar}| {_fmt_duration(span.duration_s):>8}"
+        )
+    return "\n".join(lines)
+
+
+_HTML_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>repro trace timeline</title>
+<style>
+body {{ font-family: monospace; background: #1b1b1b; color: #ddd; margin: 1em; }}
+.lane {{ position: relative; height: 22px; margin: 1px 0; }}
+.lane .label {{ position: absolute; left: 0; width: 28em; overflow: hidden;
+  white-space: nowrap; line-height: 22px; }}
+.lane .track {{ position: absolute; left: 29em; right: 0; top: 2px; bottom: 2px;
+  background: #262626; }}
+.lane .bar {{ position: absolute; top: 0; bottom: 0; background: #4e8cff;
+  min-width: 1px; border-radius: 2px; }}
+.lane.depth1 .bar {{ background: #57b86a; }}
+.lane.depth2 .bar {{ background: #d9a441; }}
+.lane.depth3 .bar {{ background: #c95f5f; }}
+</style></head><body>
+<h3>trace {trace_id} &mdash; {count} span(s), {total}</h3>
+{lanes}
+</body></html>
+"""
+
+_HTML_LANE = (
+    '<div class="lane depth{depth_class}">'
+    '<span class="label" style="padding-left:{indent}em">{label}</span>'
+    '<span class="track"><span class="bar" title="{title}" '
+    'style="left:{left:.3f}%;width:{width:.3f}%"></span></span></div>'
+)
+
+
+def render_timeline_html(spans) -> str:
+    """Self-contained HTML page for a span forest (hover for timings)."""
+    spans = list(spans)
+    if not spans:
+        raise ConfigurationError("no span records to render")
+    roots = build_span_tree(spans)
+    t0, t1 = _extent(roots)
+    total = max(t1 - t0, 1e-9)
+    lanes = []
+    for depth, node in _walk(roots):
+        span = node.span
+        title = (
+            f"{span.kind} — {_fmt_duration(span.duration_s)} "
+            f"(+{_fmt_duration(span.start_unix - t0)})"
+        )
+        lanes.append(
+            _HTML_LANE.format(
+                depth_class=min(depth, 3),
+                indent=depth,
+                label=html.escape(span.kind),
+                title=html.escape(title),
+                left=(span.start_unix - t0) / total * 100.0,
+                width=max(span.duration_s / total * 100.0, 0.05),
+            )
+        )
+    trace_id = roots[0].span.trace_id if roots else "?"
+    return _HTML_PAGE.format(
+        trace_id=html.escape(trace_id),
+        count=len(spans),
+        total=_fmt_duration(total),
+        lanes="\n".join(lanes),
+    )
+
+
+def write_timeline_html(spans, path: str | Path) -> Path:
+    """Render and write the HTML timeline; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_timeline_html(spans), encoding="utf-8")
+    return path

@@ -33,6 +33,7 @@ bit-identical to a serial run (see :mod:`repro.analysis.parallel`).
 from __future__ import annotations
 
 import time
+import uuid
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -45,6 +46,7 @@ from repro.obs.metrics import (
     TimerStat,
     Timers,
 )
+from repro.obs.spans import SpanContext, SpanRecord
 
 __all__ = [
     "TraceEvent",
@@ -53,6 +55,8 @@ __all__ = [
     "NULL_TRACER",
     "CollectingTracer",
     "ObsSnapshot",
+    "SpanContext",
+    "SpanRecord",
     "get_tracer",
     "set_tracer",
     "use_tracer",
@@ -101,8 +105,18 @@ class Tracer:
 
     def span(self, kind: str, /, **fields):
         """Context manager timing its block under ``kind``; on exit the
-        duration lands in the timers and one ``kind`` event is emitted
-        (without the duration, keeping event streams deterministic)."""
+        duration lands in the timers, one ``kind`` event is emitted
+        (without the duration, keeping event streams deterministic) and
+        one :class:`~repro.obs.spans.SpanRecord` is recorded."""
+        return _NULL_SPAN
+
+    def phase(self, kind: str, /, **fields):
+        """Context manager recording a *span-only* region under ``kind``.
+
+        Unlike :meth:`span` it emits **no** event, no counter and no
+        timer — only a :class:`~repro.obs.spans.SpanRecord` — so phase
+        boundaries can be adopted inside code whose event stream is
+        byte-compared across runs and processes."""
         return _NULL_SPAN
 
 
@@ -148,39 +162,101 @@ class ObsSnapshot:
     timers: dict[str, TimerStat]
     histograms: dict[str, HistogramStat] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    spans: tuple[SpanRecord, ...] = ()
 
 
 class _Span:
-    __slots__ = ("_tracer", "_kind", "_fields", "_start")
+    __slots__ = (
+        "_tracer",
+        "_kind",
+        "_fields",
+        "_emit",
+        "_start",
+        "_start_unix",
+        "_seq",
+        "_span_id",
+        "_parent_id",
+    )
 
-    def __init__(self, tracer: "CollectingTracer", kind: str, fields: dict) -> None:
+    def __init__(
+        self,
+        tracer: "CollectingTracer",
+        kind: str,
+        fields: dict,
+        emit: bool = True,
+    ) -> None:
         self._tracer = tracer
         self._kind = kind
         self._fields = fields
+        self._emit = emit
 
     def __enter__(self):
+        tracer = self._tracer
+        self._seq = tracer._next_span_seq()
+        stack = tracer._span_stack
+        self._parent_id = stack[-1] if stack else tracer._adopted_parent
+        self._span_id = f"{tracer._span_prefix}:{self._seq}"
+        tracer._span_ids.add(self._span_id)
+        stack.append(self._span_id)
+        self._start_unix = time.time()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info):
-        self._tracer.timers.record(
-            self._kind, time.perf_counter() - self._start
+        duration = time.perf_counter() - self._start
+        tracer = self._tracer
+        tracer._span_stack.pop()
+        tracer._spans.append(
+            SpanRecord(
+                seq=self._seq,
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                trace_id=tracer.trace_id,
+                kind=self._kind,
+                fields=self._fields,
+                start_unix=self._start_unix,
+                duration_s=duration,
+            )
         )
-        self._tracer.event(self._kind, **self._fields)
+        if self._emit:
+            tracer.timers.record(self._kind, duration)
+            tracer.event(self._kind, **self._fields)
         return False
 
 
 class CollectingTracer(Tracer):
-    """In-memory tracer: ordered events plus counters and timers."""
+    """In-memory tracer: ordered events plus counters, timers and spans.
+
+    Pass ``context=``\\ :class:`~repro.obs.spans.SpanContext` to adopt a
+    cross-process identity: the tracer reuses the context's trace id
+    and parents its root spans under the context's span id, which is
+    how shard workers join the parent run's trace tree.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, context: SpanContext | None = None) -> None:
         self._events: list[TraceEvent] = []
         self.counters = Counters()
         self.timers = Timers()
         self.histograms = Histograms()
         self.gauges = Gauges()
+        if context is not None:
+            self.trace_id = context.trace_id
+            self._adopted_parent = context.span_id
+        else:
+            self.trace_id = uuid.uuid4().hex[:16]
+            self._adopted_parent = None
+        self._span_prefix = uuid.uuid4().hex[:8]
+        self._spans: list[SpanRecord] = []
+        self._span_stack: list[str] = []
+        self._span_ids: set[str] = set()
+        self._span_seq = 0
+
+    def _next_span_seq(self) -> int:
+        seq = self._span_seq
+        self._span_seq += 1
+        return seq
 
     @property
     def events(self) -> tuple[TraceEvent, ...]:
@@ -208,6 +284,21 @@ class CollectingTracer(Tracer):
     def span(self, kind: str, /, **fields):
         return _Span(self, kind, fields)
 
+    def phase(self, kind: str, /, **fields):
+        return _Span(self, kind, fields, emit=False)
+
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """Completed spans in enter (seq) order."""
+        return tuple(sorted(self._spans, key=lambda span: span.seq))
+
+    def context(self) -> SpanContext:
+        """The identity to ship to a worker: this trace id plus the
+        currently-open span (the adopted parent when none is open)."""
+        stack = self._span_stack
+        span_id = stack[-1] if stack else self._adopted_parent
+        return SpanContext(trace_id=self.trace_id, span_id=span_id)
+
     def snapshot(self) -> ObsSnapshot:
         return ObsSnapshot(
             events=tuple(self._events),
@@ -215,11 +306,21 @@ class CollectingTracer(Tracer):
             timers=self.timers.as_dict(),
             histograms=self.histograms.as_dict(),
             gauges=self.gauges.as_dict(),
+            spans=self.spans,
         )
 
     def merge_snapshot(self, snapshot: ObsSnapshot) -> None:
         """Fold a worker snapshot in, re-sequencing its events after the
-        ones already collected (call in a deterministic order)."""
+        ones already collected (call in a deterministic order).
+
+        Incoming spans are re-sequenced and rewritten onto this trace:
+        their trace id becomes this tracer's, and any span whose parent
+        is neither in the incoming snapshot nor a span this tracer
+        issued (roots, or stale cross-run parents) is re-parented under
+        the currently-open span.  Span ids are globally unique (each
+        tracer stamps its own prefix), so internal parent links survive
+        unchanged.
+        """
         for event in snapshot.events:
             self._events.append(
                 TraceEvent(len(self._events), event.kind, dict(event.fields))
@@ -228,6 +329,29 @@ class CollectingTracer(Tracer):
         self.timers.merge(snapshot.timers)
         self.histograms.merge(snapshot.histograms)
         self.gauges.merge(snapshot.gauges)
+        if snapshot.spans:
+            incoming = {span.span_id for span in snapshot.spans}
+            stack = self._span_stack
+            attach = stack[-1] if stack else self._adopted_parent
+            for span in sorted(snapshot.spans, key=lambda s: s.seq):
+                parent = span.parent_id
+                if parent is None or (
+                    parent not in incoming and parent not in self._span_ids
+                ):
+                    parent = attach
+                self._span_ids.add(span.span_id)
+                self._spans.append(
+                    SpanRecord(
+                        seq=self._next_span_seq(),
+                        span_id=span.span_id,
+                        parent_id=parent,
+                        trace_id=self.trace_id,
+                        kind=span.kind,
+                        fields=dict(span.fields),
+                        start_unix=span.start_unix,
+                        duration_s=span.duration_s,
+                    )
+                )
 
     def clear(self) -> None:
         self._events.clear()
@@ -235,6 +359,10 @@ class CollectingTracer(Tracer):
         self.timers = Timers()
         self.histograms = Histograms()
         self.gauges = Gauges()
+        self._spans.clear()
+        self._span_ids.clear()
+        del self._span_stack[:]
+        self._span_seq = 0
 
     def __len__(self) -> int:
         return len(self._events)

@@ -97,38 +97,43 @@ class Simulator:
         tracer = get_tracer()
         dispatched = 0
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                assert next_time is not None
-                if until is not None and next_time > until:
-                    self._now = until
-                    return self._now
-                if max_events is not None and self._processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway event loop?"
-                    )
-                event = self._queue.pop()
-                self._now = event.time
-                self._processed += 1
-                dispatched += 1
-                handlers = self._handlers.get(event.kind)
-                if not handlers:
-                    raise SimulationError(
-                        f"no handler registered for event {event.kind!r}"
-                    )
-                if tracer.enabled:
-                    tracer.event(
-                        "sim.dispatch",
-                        kind=event.kind,
-                        time=event.time,
-                        handlers=len(handlers),
-                    )
-                    tracer.count("sim.events")
-                    tracer.count(f"sim.events.{event.kind}")
-                for handler in handlers:
-                    handler(event)
-                if progress is not None and dispatched % progress_every == 0:
-                    progress.advance(f"t={self._now:g}", n=progress_every)
+            # Span-only phase (no event emitted), so the ``sim.dispatch``
+            # event stream stays byte-identical to pre-span releases
+            # while the timeline shows one bar per ``run`` call.
+            with tracer.phase("sim.run"):
+                while self._queue:
+                    next_time = self._queue.peek_time()
+                    assert next_time is not None
+                    if until is not None and next_time > until:
+                        self._now = until
+                        return self._now
+                    if max_events is not None and self._processed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "runaway event loop?"
+                        )
+                    event = self._queue.pop()
+                    self._now = event.time
+                    self._processed += 1
+                    dispatched += 1
+                    handlers = self._handlers.get(event.kind)
+                    if not handlers:
+                        raise SimulationError(
+                            f"no handler registered for event {event.kind!r}"
+                        )
+                    if tracer.enabled:
+                        tracer.event(
+                            "sim.dispatch",
+                            kind=event.kind,
+                            time=event.time,
+                            handlers=len(handlers),
+                        )
+                        tracer.count("sim.events")
+                        tracer.count(f"sim.events.{event.kind}")
+                    for handler in handlers:
+                        handler(event)
+                    if progress is not None and dispatched % progress_every == 0:
+                        progress.advance(f"t={self._now:g}", n=progress_every)
         finally:
             if progress is not None:
                 remainder = dispatched % progress_every

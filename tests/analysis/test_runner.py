@@ -1,6 +1,7 @@
 """Unit tests for the resumable cached experiment runner."""
 
 import dataclasses
+import io
 import json
 
 import pytest
@@ -22,6 +23,7 @@ from repro.analysis.runner import (
 )
 from repro.etc.generation import Consistency, Heterogeneity
 from repro.exceptions import ConfigurationError
+from repro.obs import ProgressReporter, build_span_tree, read_timeseries
 from repro.obs.tracer import CollectingTracer, use_tracer
 
 
@@ -324,6 +326,25 @@ class TestRunGridTraced:
         }
         assert resumed_counters == fresh_counters
 
+    def test_sharded_run_builds_single_span_tree(self, grid_config, tmp_path):
+        with use_tracer(CollectingTracer()) as tracer:
+            run_grid(grid_config, cache_dir=tmp_path, max_workers=2)
+        spans = tracer.spans
+        assert spans
+        assert all(s.trace_id == tracer.trace_id for s in spans)
+        (root,) = build_span_tree(spans)
+        assert root.kind == "runner.grid"
+        cell_nodes = [c for c in root.children if c.kind == "runner.cell"]
+        assert len(cell_nodes) == 4
+        for cell in cell_nodes:
+            kinds = {node.kind for _, node in cell.walk()}
+            assert "experiment.cell" in kinds
+
+    def test_uncached_run_records_no_runner_spans(self, grid_config):
+        with use_tracer(CollectingTracer()) as tracer:
+            run_grid(grid_config, max_workers=2)
+        assert all(not s.kind.startswith("runner.") for s in tracer.spans)
+
     def test_counters_emitted_only_with_cache(self, grid_config, tmp_path):
         with use_tracer(CollectingTracer()) as uncached:
             run_grid(grid_config, max_workers=2)
@@ -332,6 +353,123 @@ class TestRunGridTraced:
             run_grid(grid_config, cache_dir=tmp_path, max_workers=2)
         assert cached.counters.get("runner.cells.computed") == 4
         assert cached.histograms.get("runner.cell_wall_s").count == 4
+
+
+class RecordingProgress:
+    """Progress stub that records its lifecycle calls."""
+
+    enabled = True
+
+    def __init__(self):
+        self.total = 0
+        self.advances = 0
+        self.started = False
+        self.finished = False
+
+    def start(self):
+        self.started = True
+        return self
+
+    def advance(self, current="", n=1):
+        self.advances += n
+
+    def finish(self):
+        self.finished = True
+
+
+class TestProgressFinishOnError:
+    """A worker raising mid-cell must not lose the final progress state."""
+
+    def test_serial_raise_still_finishes_progress(self, grid_config, tmp_path):
+        progress = RecordingProgress()
+        with pytest.raises(ValueError, match="boom"):
+            run_grid(
+                grid_config,
+                cache_dir=tmp_path,
+                max_workers=1,
+                retries=0,
+                on_error="raise",
+                cell_fn=_failing_cell,
+                progress=progress,
+            )
+        assert progress.started
+        assert progress.finished
+
+    def test_pooled_raise_still_finishes_progress(self, grid_config, tmp_path):
+        progress = RecordingProgress()
+        with pytest.raises(ValueError, match="boom"):
+            run_grid(
+                grid_config,
+                cache_dir=tmp_path,
+                max_workers=2,
+                retries=0,
+                on_error="raise",
+                cell_fn=_failing_cell,
+                progress=progress,
+            )
+        assert progress.finished
+
+    def test_stream_reporter_renders_final_line_on_error(
+        self, grid_config, tmp_path
+    ):
+        stream = io.StringIO()
+        with pytest.raises(ValueError, match="boom"):
+            run_grid(
+                grid_config,
+                cache_dir=tmp_path,
+                max_workers=2,
+                retries=0,
+                on_error="raise",
+                cell_fn=_failing_cell,
+                progress=ProgressReporter(stream=stream, label="cells"),
+            )
+        rendered = stream.getvalue()
+        assert rendered.endswith("\n")
+        assert "done" in rendered.splitlines()[-1]
+
+
+class TestRunGridTimeseries:
+    def test_summary_and_file(self, grid_config, tmp_path):
+        path = tmp_path / "ts" / "run.jsonl"
+        result = run_grid(
+            grid_config,
+            cache_dir=tmp_path / "cells",
+            max_workers=2,
+            timeseries=path,
+            sample_interval_s=0.0,
+        )
+        summary = result.timeseries_summary
+        assert summary is not None
+        assert summary["path"] == str(path)
+        assert summary["tasks_scheduled"] == (
+            len(result.records) * grid_config.num_tasks
+        )
+        assert summary["tasks_per_s"] > 0
+        header, samples = read_timeseries(path)
+        assert header["label"] == "run-grid"
+        assert samples
+        assert samples[-1]["metrics"]["cells_done"] == result.total_cells
+
+    def test_no_timeseries_means_no_summary(self, grid_config, tmp_path):
+        result = run_grid(grid_config, cache_dir=tmp_path)
+        assert result.timeseries_summary is None
+
+    def test_log_closed_and_valid_after_error(self, grid_config, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        with pytest.raises(ValueError, match="boom"):
+            run_grid(
+                grid_config,
+                cache_dir=tmp_path / "cells",
+                max_workers=1,
+                retries=0,
+                on_error="raise",
+                cell_fn=_failing_cell,
+                timeseries=path,
+            )
+        # the finally path forced a final sample and closed the file
+        header, samples = read_timeseries(path)
+        assert header["schema"] == "repro-timeseries/1"
+        assert samples
 
 
 class TestTimeouts:

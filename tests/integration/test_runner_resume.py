@@ -16,6 +16,7 @@ from repro.analysis.runner import _WORKER_STORES, CellCache, cell_key, run_grid
 from repro.analysis.parallel import SHM_PREFIX, split_into_cells
 from repro.etc.generation import Consistency, Heterogeneity
 from repro.etc.store import LOCK_NAME, ETCStore
+from repro.obs import build_span_tree
 from repro.obs.tracer import CollectingTracer, use_tracer
 
 
@@ -139,6 +140,37 @@ class TestKillAndResume:
         assert resumed.cached_cells >= completed
         assert resumed.cached_cells + resumed.computed_cells == resumed.total_cells
         assert list(resumed.records) == run_experiment(grid_config)
+
+
+@pytest.mark.obs
+class TestResumeSpanTree:
+    """A resumed run's span tree re-parents under the *new* trace."""
+
+    def test_resumed_cells_reparent_under_new_trace(
+        self, grid_config, tmp_path
+    ):
+        with use_tracer(CollectingTracer()):
+            with pytest.raises(KeyboardInterrupt):
+                run_grid(
+                    grid_config,
+                    cache_dir=tmp_path,
+                    max_workers=1,
+                    progress=KillAfter(2),
+                )
+        with use_tracer(CollectingTracer()) as tracer:
+            resumed = run_grid(grid_config, cache_dir=tmp_path, resume=True)
+        assert resumed.cached_cells == 2
+        spans = tracer.spans
+        # nothing survives from the killed run's trace id
+        assert spans
+        assert all(s.trace_id == tracer.trace_id for s in spans)
+        (root,) = build_span_tree(spans)
+        assert root.kind == "runner.grid"
+        kinds = sorted(child.kind for child in root.children)
+        # cached cells re-enter the tree as synthetic markers, computed
+        # cells as full worker subtrees — all under the one new root
+        assert kinds.count("runner.cell.cached") == resumed.cached_cells
+        assert kinds.count("runner.cell") == resumed.computed_cells
 
 
 class TestStoreKillAndResume:

@@ -72,6 +72,41 @@ class TestHistogramStat:
         HistogramStat.empty(TIME_BUCKETS)
 
 
+class TestQuantile:
+    def test_empty_is_zero(self):
+        assert HistogramStat.empty((1.0, 2.0)).quantile(0.5) == 0.0
+
+    def test_rejects_out_of_range(self):
+        stat = HistogramStat.empty((1.0, 2.0)).observe(1.0)
+        with pytest.raises(ValueError):
+            stat.quantile(-0.1)
+        with pytest.raises(ValueError):
+            stat.quantile(1.1)
+
+    def test_interpolates_within_bucket(self):
+        stat = HistogramStat.empty((0.0, 10.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            stat = stat.observe(value)
+        # all four observations sit in the (0, 10] bucket: the median
+        # rank is halfway through it, so the estimate is mid-bucket.
+        assert stat.quantile(0.5) == pytest.approx(5.0)
+
+    def test_clamped_to_observed_range(self):
+        stat = HistogramStat.empty((10.0, 20.0)).observe(4.0).observe(5.0)
+        assert stat.quantile(0.0) >= stat.min
+        assert stat.quantile(1.0) <= stat.max
+
+    def test_overflow_bucket_resolves_to_max(self):
+        stat = HistogramStat.empty((1.0,)).observe(0.5).observe(99.0)
+        assert stat.quantile(1.0) == 99.0
+
+    def test_p50_p95_ordering(self):
+        stat = HistogramStat.empty(TIME_BUCKETS)
+        for value in (0.001, 0.002, 0.004, 0.5, 0.9):
+            stat = stat.observe(value)
+        assert stat.quantile(0.5) <= stat.quantile(0.95) <= stat.max
+
+
 class TestHistograms:
     def test_observe_and_get(self):
         h = Histograms()

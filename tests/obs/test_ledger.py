@@ -14,11 +14,14 @@ from repro.obs.ledger import (
     config_hash,
     diff_records,
     fingerprint,
+    follow_records,
     format_record_line,
     headline_metrics,
+    histogram_summaries,
     is_lower_better,
     summarize_records,
 )
+from repro.obs.metrics import HistogramStat
 
 pytestmark = pytest.mark.obs
 
@@ -229,3 +232,60 @@ class TestCollectCounters:
                     ts="2026-01-02T00:00:00+00:00"),
         ]
         assert collect_counters(records) == {"decisions": 15, "iterations": 3}
+
+
+class TestHistogramSummaries:
+    def test_includes_percentiles_and_drops_empty(self):
+        stats = {
+            "runner.cell_wall_s": (
+                HistogramStat.empty((1.0, 2.0, 4.0))
+                .observe(0.5).observe(1.5).observe(3.0)
+            ),
+            "never_observed": HistogramStat.empty((1.0,)),
+        }
+        summaries = histogram_summaries(stats)
+        assert list(summaries) == ["runner.cell_wall_s"]
+        summary = summaries["runner.cell_wall_s"]
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(5.0 / 3)
+        assert summary["min"] == 0.5
+        assert summary["max"] == 3.0
+        assert summary["p50"] <= summary["p95"] <= summary["max"]
+
+
+class TestFollowRecords:
+    def _ledger(self, tmp_path):
+        return RunLedger(tmp_path / "ledger.jsonl")
+
+    def test_emits_only_new_records_per_poll(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        ledger.append(_record(ts="2026-01-01T00:00:00+00:00"))
+        seen = []
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            # a run lands while we were sleeping
+            if len(sleeps) == 1:
+                ledger.append(_record(ts="2026-01-02T00:00:00+00:00"))
+
+        emitted = follow_records(
+            ledger, seen.append, interval_s=0.25, max_polls=3, sleep=sleep
+        )
+        assert emitted == 2
+        assert [r["timestamp"][8:10] for r in seen] == ["01", "02"]
+        assert sleeps == [0.25, 0.25]
+
+    def test_missing_ledger_means_nothing_yet(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        emitted = follow_records(
+            ledger, lambda r: None, max_polls=2, sleep=lambda s: None
+        )
+        assert emitted == 0
+
+    def test_validates_arguments(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        with pytest.raises(ConfigurationError):
+            follow_records(ledger, lambda r: None, interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            follow_records(ledger, lambda r: None, max_polls=0)

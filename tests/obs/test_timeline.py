@@ -1,0 +1,85 @@
+"""Unit tests for the ASCII / HTML span-timeline renderers."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    SpanRecord,
+    render_timeline,
+    render_timeline_html,
+    write_timeline_html,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _span(seq, span_id, parent_id, kind, *, start=0.0, dur=1.0, **fields):
+    return SpanRecord(
+        seq=seq,
+        span_id=span_id,
+        parent_id=parent_id,
+        trace_id="trace01",
+        kind=kind,
+        fields=fields,
+        start_unix=start,
+        duration_s=dur,
+    )
+
+
+@pytest.fixture
+def spans():
+    return [
+        _span(0, "a:0", None, "runner.grid", start=0.0, dur=4.0),
+        _span(1, "a:1", "a:0", "runner.publish", start=0.0, dur=1.0),
+        _span(2, "a:2", "a:0", "runner.cell", start=1.0, dur=3.0),
+        _span(3, "a:3", "a:2", "iterative.run", start=1.5, dur=0.002),
+    ]
+
+
+class TestRenderTimeline:
+    def test_header_and_rows(self, spans):
+        text = render_timeline(spans)
+        lines = text.splitlines()
+        assert lines[0] == "trace trace01 — 4 span(s), 4.00s total"
+        for kind in ("runner.grid", "runner.publish", "runner.cell",
+                     "iterative.run"):
+            assert kind in text
+
+    def test_depth_indentation_and_duration_units(self, spans):
+        text = render_timeline(spans)
+        assert "\n  runner.publish" in text
+        assert "\n    iterative.run" in text  # depth 2
+        assert "4.00s" in text
+        assert "2.0ms" in text
+
+    def test_bars_fill_the_budget(self, spans):
+        rows = render_timeline(spans, width=80).splitlines()[2:]
+        assert all("|" in row and "█" in row for row in rows)
+        root_bar = rows[0].split("|")[1]
+        assert "·" not in root_bar  # the root spans the full extent
+
+    def test_rejects_empty_and_narrow(self, spans):
+        with pytest.raises(ConfigurationError):
+            render_timeline([])
+        with pytest.raises(ConfigurationError):
+            render_timeline(spans, width=39)
+
+
+class TestRenderTimelineHtml:
+    def test_page_contains_lanes_and_escapes(self, spans):
+        page = render_timeline_html(
+            spans + [_span(4, "a:4", "a:0", "k<script>", start=2.0)]
+        )
+        assert page.count('class="lane') == 5
+        assert "trace01" in page
+        assert "k&lt;script&gt;" in page
+        assert "<script>" not in page
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline_html([])
+
+    def test_write_creates_parents(self, tmp_path, spans):
+        path = write_timeline_html(spans, tmp_path / "out" / "trace.html")
+        assert path.exists()
+        assert path.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,176 @@
+"""Unit tests for the repro-timeseries/1 log and the grid sampler."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    TIMESERIES_SCHEMA,
+    GridSampler,
+    TimeSeriesLog,
+    read_timeseries,
+    rss_bytes,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRssBytes:
+    def test_positive_on_this_platform(self):
+        assert rss_bytes() > 0
+
+
+class TestTimeSeriesLog:
+    def test_header_written_on_construction(self, tmp_path):
+        path = tmp_path / "sub" / "ts.jsonl"
+        with TimeSeriesLog(path, label="run-grid"):
+            header = json.loads(path.read_text().splitlines()[0])
+        assert header["type"] == "header"
+        assert header["schema"] == TIMESERIES_SCHEMA
+        assert header["label"] == "run-grid"
+        assert header["started_unix"] > 0
+
+    def test_samples_flushed_while_open(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        log = TimeSeriesLog(path)
+        log.sample({"x": 1})
+        log.sample({"x": 2})
+        # readable before close — the file is live-tailable
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert log.samples_written == 2
+        log.close()
+        log.close()  # idempotent
+
+    def test_t_s_non_decreasing_with_backwards_clock(self, tmp_path):
+        clock = FakeClock(start=10.0)
+        log = TimeSeriesLog(tmp_path / "ts.jsonl", clock=clock)
+        clock.advance(2.0)
+        first = log.sample({})
+        clock.now = 10.5  # clock regression
+        second = log.sample({})
+        log.close()
+        assert first == pytest.approx(2.0)
+        assert second >= first
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        with TimeSeriesLog(path, label="lbl") as log:
+            log.sample({"tasks_per_s": 4.0})
+        header, samples = read_timeseries(path)
+        assert header["label"] == "lbl"
+        (sample,) = samples
+        assert sample["metrics"] == {"tasks_per_s": 4.0}
+        assert sample["t_s"] >= 0.0
+
+
+class TestReadTimeseriesErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            read_timeseries(path)
+
+    def test_sample_before_header(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        path.write_text(json.dumps({"type": "sample", "t_s": 0, "metrics": {}}) + "\n")
+        with pytest.raises(ConfigurationError):
+            read_timeseries(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        path.write_text(json.dumps({"type": "header", "schema": "other/9"}) + "\n")
+        with pytest.raises(ConfigurationError):
+            read_timeseries(path)
+
+    def test_unknown_type_and_bad_json(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        with TimeSeriesLog(path):
+            pass
+        path.write_text(path.read_text() + json.dumps({"type": "mystery"}) + "\n")
+        with pytest.raises(ConfigurationError):
+            read_timeseries(path)
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            read_timeseries(path)
+
+
+def _sampler(tmp_path, clock, **kw):
+    kw.setdefault("total_cells", 4)
+    kw.setdefault("tasks_per_record", 10)
+    kw.setdefault("interval_s", 1.0)
+    kw.setdefault("rss_fn", lambda: 4096)
+    return GridSampler(tmp_path / "ts.jsonl", clock=clock, **kw)
+
+
+class TestGridSampler:
+    def test_rejects_negative_interval(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            _sampler(tmp_path, FakeClock(), interval_s=-0.1)
+
+    def test_throttles_to_interval(self, tmp_path):
+        clock = FakeClock()
+        sampler = _sampler(tmp_path, clock)
+        sampler.note_cell(records=1)  # first sample always lands
+        sampler.note_cell(records=1)  # within the interval: suppressed
+        assert sampler.log.samples_written == 1
+        clock.advance(1.5)
+        sampler.note_cell(records=1)
+        assert sampler.log.samples_written == 2
+
+    def test_accounting_in_metrics(self, tmp_path):
+        clock = FakeClock()
+        sampler = _sampler(tmp_path, clock)
+        clock.advance(2.0)
+        sampler.note_cell(records=3)
+        sampler.note_cell(cached=True)
+        sampler.note_cell(quarantined=True)
+        sampler.note_store(published=5, reused=2)
+        sampler.set_queue_depth(7)
+        metrics = sampler.metrics()
+        assert metrics["tasks_scheduled"] == 30  # 3 records x 10 tasks
+        assert metrics["tasks_per_s"] == pytest.approx(15.0)
+        assert metrics["cells_done"] == 3
+        assert metrics["cells_total"] == 4
+        assert metrics["cache_hit_rate"] == pytest.approx(1 / 3)
+        assert metrics["store_published"] == 5
+        assert metrics["store_reused"] == 2
+        assert metrics["queue_depth"] == 7
+        assert metrics["rss_bytes"] == 4096
+
+    def test_close_forces_final_sample_and_is_idempotent(self, tmp_path):
+        clock = FakeClock()
+        sampler = _sampler(tmp_path, clock)
+        sampler.note_cell(records=1)
+        sampler.note_cell(records=1)  # suppressed by the throttle
+        sampler.close()
+        sampler.close()
+        _, samples = read_timeseries(sampler.log.path)
+        assert len(samples) == 2
+        assert samples[-1]["metrics"]["cells_done"] == 2
+
+    def test_summary_headline_keys(self, tmp_path):
+        clock = FakeClock()
+        sampler = _sampler(tmp_path, clock)
+        clock.advance(2.0)
+        sampler.note_cell(records=2)
+        summary = sampler.summary()
+        assert summary["schema"] == TIMESERIES_SCHEMA
+        assert summary["path"].endswith("ts.jsonl")
+        assert summary["tasks_scheduled"] == 20
+        assert summary["tasks_per_s"] == pytest.approx(10.0)
+        assert summary["duration_s"] == pytest.approx(2.0)
+        assert summary["samples"] == 1
+        assert 0.0 <= summary["cache_hit_rate"] <= 1.0

@@ -239,6 +239,49 @@ class TestParallelMerge:
 
 
 # ---------------------------------------------------------------------------
+# Span trees: serial and sharded runs agree modulo wall-clock
+# ---------------------------------------------------------------------------
+
+
+@given(
+    max_workers=st.integers(2, 3),
+    shards=st.integers(1, 5),
+    seed=st.integers(0, 2**8),
+)
+@settings(max_examples=4, deadline=None)
+def test_serial_and_sharded_span_trees_have_equal_shape(
+    tmp_path_factory, max_workers, shards, seed
+):
+    """The merged span tree of a sharded cached run has exactly the
+    structure (kinds, fields, nesting, order) of the serial run over
+    the same config — only ids and wall-clock values may differ."""
+    from repro.analysis.runner import run_grid
+    from repro.obs import tree_shape
+
+    config = ExperimentConfig(
+        heuristics=("mct",),
+        num_tasks=6,
+        num_machines=3,
+        heterogeneities=(Heterogeneity.HIHI, Heterogeneity.LOLO),
+        consistencies=(Consistency.INCONSISTENT,),
+        instances_per_cell=1,
+        seed=seed,
+    )
+    base = tmp_path_factory.mktemp("span-trees")
+    with use_tracer(CollectingTracer()) as serial:
+        run_grid(config, cache_dir=base / f"serial-{seed}", max_workers=1)
+    with use_tracer(CollectingTracer()) as sharded:
+        run_grid(
+            config,
+            cache_dir=base / f"sharded-{seed}-{max_workers}-{shards}",
+            max_workers=max_workers,
+            shards=shards,
+        )
+    assert serial.trace_id != sharded.trace_id
+    assert tree_shape(sharded.spans) == tree_shape(serial.spans)
+
+
+# ---------------------------------------------------------------------------
 # JSONL round-trip: export -> parse -> records_to_snapshot is the identity
 # ---------------------------------------------------------------------------
 

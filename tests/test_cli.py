@@ -451,6 +451,129 @@ class TestRunGrid:
         capsys.readouterr()
 
 
+class TestRunGridTelemetry:
+    def _argv(self, tmp_path, extra=()):
+        return ["run-grid", "--heuristics", "min-min,mct",
+                "--tasks", "8", "--machines", "3", "--instances", "2",
+                "--heterogeneities", "hihi,lolo",
+                "--consistencies", "inconsistent",
+                "--cache-dir", str(tmp_path / "cells"), *extra]
+
+    def test_trace_out_writes_merged_span_tree(self, tmp_path, capsys):
+        from repro.obs import build_span_tree, read_jsonl, spans_from_records
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(self._argv(tmp_path, ["--trace-out", str(trace)])) == 0
+        out = capsys.readouterr().out
+        assert "trace: wrote" in out
+        assert "repro obs timeline" in out
+        spans = spans_from_records(read_jsonl(trace))
+        assert spans
+        (root,) = build_span_tree(spans)
+        assert root.kind == "runner.grid"
+        assert len({s.trace_id for s in spans}) == 1
+
+    def test_timeseries_writes_log_and_prints_summary(self, tmp_path, capsys):
+        from repro.obs import read_timeseries
+
+        ts = tmp_path / "ts.jsonl"
+        assert main(self._argv(tmp_path, ["--timeseries", str(ts),
+                                          "--sample-interval", "0"])) == 0
+        out = capsys.readouterr().out
+        assert "tasks scheduled/s" in out
+        header, samples = read_timeseries(ts)
+        assert header["label"] == "run-grid"
+        assert samples[-1]["metrics"]["cells_done"] == 2
+
+    def test_ledger_carries_throughput_and_timeseries(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger = tmp_path / "ledger.jsonl"
+        ts = tmp_path / "ts.jsonl"
+        assert main(self._argv(tmp_path, [
+            "--timeseries", str(ts), "--append-ledger",
+            "--ledger-path", str(ledger)])) == 0
+        capsys.readouterr()
+        record = RunLedger(ledger).read()[-1]
+        # 2 cells x (2 heuristics x 2 instances) records x 8 tasks each
+        assert record["metrics"]["tasks_scheduled"] == 8 * 8
+        assert record["metrics"]["tasks_scheduled_per_s"] > 0
+        assert record["extra"]["timeseries"]["tasks_scheduled"] == 8 * 8
+
+    def test_timeline_renders_cli_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        html = tmp_path / "trace.html"
+        assert main(self._argv(tmp_path, ["--trace-out", str(trace)])) == 0
+        capsys.readouterr()
+        assert main(["obs", "timeline", str(trace),
+                     "--html", str(html)]) == 0
+        out = capsys.readouterr().out
+        assert "runner.grid" in out
+        assert "span(s)" in out
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_timeline_rejects_spanless_trace(self, tmp_path, capsys):
+        assert main(["trace", "--example", "mct",
+                     "--jsonl", str(tmp_path / "t.jsonl")]) == 0
+        capsys.readouterr()
+        # a heuristic trace has spans; an empty file does not
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "timeline", str(empty)]) == 1
+        assert "no span records" in capsys.readouterr().err
+
+
+class TestObsTailFollow:
+    def test_follow_emits_only_new_records(self, tmp_path, capsys, monkeypatch):
+        import repro.obs.ledger as ledger_mod
+        from repro.obs.ledger import RunLedger, build_record
+
+        path = tmp_path / "ledger.jsonl"
+        store = RunLedger(path)
+        store.append(build_record(
+            "compare", metrics={"makespan_mean_overall": 1.0},
+            timestamp="2026-01-01T00:00:00+00:00"))
+
+        def fake_follow(ledger, emit, *, interval_s):
+            # first poll re-emits everything, then one new record lands
+            for record in ledger.read():
+                emit(record)
+            new = ledger.append(build_record(
+                "study", metrics={"makespan_mean": 2.0},
+                timestamp="2026-01-02T00:00:00+00:00"))
+            emit(new)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ledger_mod, "follow_records", fake_follow)
+        assert main(["obs", "tail", "--follow", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        # the pre-existing record prints once (the tail), not twice
+        assert out.count("compare") == 1
+        assert out.count("study") == 1
+
+    def test_follow_flag_parses_with_interval(self):
+        args = build_parser().parse_args(
+            ["obs", "tail", "-f", "--interval", "0.5"])
+        assert args.follow
+        assert args.interval == 0.5
+
+
+class TestObsSummaryPercentiles:
+    def test_summary_prints_percentile_block(self, tmp_path, capsys):
+        cache = tmp_path / "cells"
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["run-grid", "--heuristics", "mct", "--tasks", "8",
+                     "--machines", "3", "--instances", "2",
+                     "--cache-dir", str(cache), "--append-ledger",
+                     "--ledger-path", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summary", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "histogram percentiles" in out
+        assert "runner.cell_wall_s" in out
+        assert "p50=" in out and "p95=" in out and "max=" in out
+
+
 class TestLedgerPathAlias:
     def test_alias_accepted_by_obs_family(self, tmp_path, capsys):
         from repro.obs.ledger import RunLedger, build_record
