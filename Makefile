@@ -1,11 +1,12 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deep lint smoke-obs smoke-faults smoke-runner smoke-timeline bench bench-smoke bench-smoke-baseline bench-baseline bench-pytest
+.PHONY: test test-deep lint smoke-obs smoke-faults smoke-runner smoke-timeline smoke-rolling bench bench-smoke bench-smoke-baseline bench-baseline bench-pytest
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 	$(MAKE) bench-smoke
+	$(MAKE) smoke-rolling
 
 # Nightly-style deep sweep of the hypothesis batteries: the ``deep``
 # profile raises the per-test example budgets (see tests/conftest.py),
@@ -83,6 +84,23 @@ smoke-timeline:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench --smoke --repeats 1 \
 		--workloads tracing-overhead
 	rm -rf .smoke-timeline
+
+# Rolling-horizon smoke: the arrival/rolling/dynamic-batch test
+# batteries plus one small fault-injected CLI serving run that must
+# account for every task (completed + dropped == total) and publish a
+# tasks_scheduled_per_s metric in the run ledger (see docs/rolling.md).
+smoke-rolling:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/sim/test_rolling.py tests/sim/test_dynamic_batch.py
+	rm -rf .smoke-rolling
+	mkdir -p .smoke-rolling
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro run-rolling \
+		--tasks 400 --machines 4 --chunk-tasks 32 --batch-target 16 \
+		--faults --failures 3 --recovery remap \
+		--append-ledger --ledger-path .smoke-rolling/ledger.jsonl \
+		| grep "tasks accounted   : 400/400"
+	grep -q "tasks_scheduled_per_s" .smoke-rolling/ledger.jsonl
+	rm -rf .smoke-rolling
 
 # Full benchmark harness: times the tracked 512x32 workloads (optimised
 # and retained reference kernels), writes BENCH_current.json, and fails

@@ -812,6 +812,242 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_run_rolling(args: argparse.Namespace) -> int:
+    """Serve a streamed workload through the rolling-horizon loop."""
+    import numpy as np
+
+    from repro.etc.generation import DEFAULT_STREAM_WINDOW
+    from repro.obs.progress import make_progress
+    from repro.sim.arrivals import TraceArrivals, make_arrival_process
+    from repro.sim.faults import FaultConfig, generate_fault_plan
+    from repro.sim.rolling import (
+        EnsembleTaskSource,
+        RollingSampler,
+        RollingSimulation,
+        StoreTaskSource,
+        calibrate_rate,
+    )
+
+    if args.arrival == "trace" and not args.arrival_trace:
+        print("error: --arrival trace needs --arrival-trace PATH",
+              file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    window = args.stream_chunk or DEFAULT_STREAM_WINDOW
+    heuristic = _make_heuristic(args.heuristic, args.seed)
+    refine = None if args.refine_iterations == 0 else args.refine_iterations
+
+    # Estimate the arrival rate up front (one sample instance from the
+    # same seed, so the estimate matches the real stream's statistics
+    # without consuming its randomness) — it anchors the default
+    # horizon and the fault-plan horizon.
+    sample = generation.generate_range_based(
+        min(args.tasks, max(args.chunk_tasks, 32)), args.machines,
+        args.heterogeneity, args.consistency, rng=np.random.default_rng(args.seed),
+    )
+    rate_est = args.rate if args.rate is not None else calibrate_rate(
+        sample.values, args.utilization
+    )
+    horizon = (
+        args.horizon if args.horizon is not None
+        else args.batch_target / rate_est
+    )
+    est_duration = args.tasks / rate_est
+
+    if args.arrival == "trace":
+        arrival = TraceArrivals.from_file(args.arrival_trace)
+    elif args.rate is not None:
+        arrival = make_arrival_process(
+            args.arrival, args.rate,
+            burst_factor=args.burst_factor,
+            burst_fraction=args.burst_fraction,
+            mean_burst=args.mean_burst,
+        )
+    else:
+        # Calibrated inside the run from the first streamed window.
+        def arrival(rate, _name=args.arrival):
+            return make_arrival_process(
+                _name, rate,
+                burst_factor=args.burst_factor,
+                burst_fraction=args.burst_fraction,
+                mean_burst=args.mean_burst,
+            )
+
+    plan = None
+    mean_downtime = 0.0
+    if args.faults:
+        mean_downtime = args.downtime_frac * est_duration
+        config = FaultConfig(
+            failure_rate=args.failures / est_duration,
+            mean_downtime=mean_downtime,
+            slowdown_rate=(
+                args.slowdowns / est_duration if args.slowdowns else 0.0
+            ),
+            slowdown_factor=args.slowdown_factor,
+            mean_slowdown=mean_downtime if args.slowdowns else 0.0,
+        )
+        plan = generate_fault_plan(
+            [f"m{j}" for j in range(args.machines)],
+            config, est_duration, rng=np.random.default_rng(args.seed + 1),
+        )
+
+    store = None
+    try:
+        if args.store_dir is not None:
+            from repro.etc.generation import generate_ensemble_into
+            from repro.etc.store import ETCStore
+
+            count = -(-args.tasks // args.chunk_tasks)
+            key = (
+                f"rolling-{count}x{args.chunk_tasks}x{args.machines}-"
+                f"{args.heterogeneity.value}-{args.consistency.value}-"
+                f"range-seed{args.seed}"
+            )
+            store = ETCStore(args.store_dir)
+            already = key in store
+            generate_ensemble_into(
+                store, key, count, args.chunk_tasks, args.machines,
+                heterogeneity=args.heterogeneity,
+                consistency=args.consistency,
+                rng=args.seed, window=window,
+            )
+            print(f"store: {'reusing' if already else 'published'} entry "
+                  f"{key} in {args.store_dir}")
+            source = StoreTaskSource(
+                store, key, num_tasks=args.tasks, window=window
+            )
+        else:
+            source = EnsembleTaskSource(
+                args.tasks, args.machines,
+                tasks_per_instance=args.chunk_tasks,
+                heterogeneity=args.heterogeneity,
+                consistency=args.consistency,
+                rng=args.seed, window=window,
+            )
+
+        sampler = None
+        if args.timeseries:
+            sampler = RollingSampler(
+                args.timeseries, total_tasks=args.tasks,
+                label="run-rolling", interval_s=args.sample_interval,
+            )
+        simulation = RollingSimulation(
+            source, heuristic,
+            horizon=horizon,
+            arrival=arrival,
+            utilization=args.utilization,
+            refine_iterations=refine,
+            rng=args.seed + 2,
+            plan=plan,
+            recovery=args.recovery,
+            retry_budget=args.retry_budget,
+            backoff_base=max(0.25 * mean_downtime, 1e-9) if plan else 1.0,
+            backoff_cap=max(4.0 * mean_downtime, 1e-9) if plan else None,
+        )
+        # Event collection is opt-in via --trace-out only: a collecting
+        # tracer holds every per-decision event in memory, which would
+        # break the bounded-RSS guarantee on million-task serving runs.
+        with _maybe_collect(bool(args.trace_out)) as tracer:
+            try:
+                result = simulation.run(
+                    sampler=sampler,
+                    progress=make_progress(args.progress, label="events"),
+                )
+            finally:
+                if sampler is not None:
+                    sampler.close()
+    finally:
+        if store is not None:
+            store.close()
+
+    duration = time.perf_counter() - started
+    throughput = result.dispatches / duration if duration > 0 else 0.0
+    accounted = result.completed + len(result.dropped)
+    print(f"heuristic         : {args.heuristic} "
+          f"(refine {'full' if refine is None else refine})")
+    print(f"arrival           : {args.arrival} rate {result.arrival_rate:.6g} "
+          f"(utilization target {args.utilization:g})")
+    print(f"horizon           : {horizon:.6g} — {result.horizons} mapping "
+          f"event(s), mean batch {result.mean_batch:.1f}, "
+          f"max {result.batch_max}")
+    if plan is not None:
+        print(f"fault plan        : {plan.num_failures} failures, "
+              f"{plan.num_slowdowns} slowdowns "
+              f"({args.recovery}, retry budget {args.retry_budget})")
+        print(f"plan signature    : {plan.signature()}")
+        print(f"faults hit        : {result.failures} failures, "
+              f"{result.aborted} aborted, {result.retries} retries")
+    print(f"tasks accounted   : {accounted}/{result.total_tasks} "
+          f"({result.completed} completed + {len(result.dropped)} dropped)")
+    print(f"makespan          : {result.makespan:.6g} "
+          f"(mean wait {result.mean_queue_wait:.6g}, "
+          f"mean flow {result.mean_flow:.6g}, "
+          f"peak backlog {result.peak_backlog})")
+    print(f"throughput        : {result.dispatches} dispatches in "
+          f"{duration:.3f}s wall — {throughput:.6g} tasks scheduled/s")
+    if sampler is not None:
+        ts = sampler.summary()
+        print(f"timeseries        : {ts['samples']} sample(s) to "
+              f"{ts['path']} — peak RSS "
+              f"{ts['peak_rss_bytes'] / 1e6:.1f} MB")
+    if args.trace_out and tracer is not None:
+        from repro.obs import write_jsonl
+
+        lines = write_jsonl(tracer, args.trace_out)
+        print(f"trace: wrote {lines} JSONL records to {args.trace_out} "
+              "(render with `repro obs timeline`)")
+    if args.append_ledger:
+        extra: dict = {}
+        if plan is not None:
+            extra["plan_signature"] = plan.signature()
+        if sampler is not None:
+            extra["timeseries"] = sampler.summary()
+        _ledger_append(
+            args,
+            "run-rolling",
+            started=started,
+            config={
+                "tasks": args.tasks,
+                "machines": args.machines,
+                "heuristic": args.heuristic,
+                "refine_iterations": args.refine_iterations,
+                "horizon": horizon,
+                "arrival": args.arrival,
+                "rate": args.rate,
+                "utilization": args.utilization,
+                "chunk_tasks": args.chunk_tasks,
+                "stream": window,
+                "store_dir": args.store_dir,
+                "faults": args.faults,
+                "failures": args.failures if args.faults else 0,
+                "recovery": args.recovery,
+                "retry_budget": args.retry_budget,
+                "heterogeneity": args.heterogeneity.value,
+                "consistency": args.consistency.value,
+            },
+            metrics={
+                "tasks_total": result.total_tasks,
+                "tasks_completed": result.completed,
+                "tasks_dropped": len(result.dropped),
+                "tasks_scheduled": result.dispatches,
+                "tasks_scheduled_per_s": throughput,
+                "horizons": result.horizons,
+                "batch_mean": result.mean_batch,
+                "batch_max": result.batch_max,
+                "makespan": result.makespan,
+                "mean_queue_wait": result.mean_queue_wait,
+                "max_queue_wait": result.max_queue_wait,
+                "mean_flow": result.mean_flow,
+                "peak_backlog": result.peak_backlog,
+                "failures": result.failures,
+                "retries": result.retries,
+            },
+            counters=tracer.counters.as_dict() if tracer is not None else None,
+            extra=extra or None,
+        )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Generate the full reproduction report (Markdown)."""
     from repro.analysis.report import build_report
@@ -1393,6 +1629,87 @@ def build_parser() -> argparse.ArgumentParser:
     # run-grid caches by default (unlike study/export, which only opt
     # in via --cache-dir/--resume).
     rg.set_defaults(func=cmd_run_grid, cache_dir=DEFAULT_CACHE_DIR)
+
+    from repro.sim.arrivals import ARRIVAL_PROCESSES
+
+    rr = sub.add_parser(
+        "run-rolling",
+        help="rolling-horizon online serving simulation (map + refine "
+             "each horizon batch, optional live faults)",
+    )
+    rr.add_argument("--tasks", type=int, default=10_000,
+                    help="total tasks to serve (default: %(default)s)")
+    rr.add_argument("--machines", type=int, default=8)
+    rr.add_argument("--heuristic", choices=heuristic_names(),
+                    default="min-min",
+                    help="batch mapping heuristic refined by the iterative "
+                         "technique each horizon")
+    rr.add_argument("--refine-iterations", type=int, default=2,
+                    help="iterative-technique cap per batch: 1 = plain "
+                         "heuristic mapping, 0 = run the technique to "
+                         "completion (default: %(default)s)")
+    rr.add_argument("--horizon", type=float, default=None,
+                    help="mapping-event cadence in simulation time "
+                         "(default: derived so a mean batch holds "
+                         "--batch-target tasks)")
+    rr.add_argument("--batch-target", type=int, default=64,
+                    help="target mean batch size when --horizon is derived "
+                         "(default: %(default)s)")
+    rr.add_argument("--rate", type=float, default=None,
+                    help="arrival rate in tasks per sim time unit "
+                         "(default: calibrated to --utilization)")
+    rr.add_argument("--utilization", type=float, default=0.7,
+                    help="target machine load for rate calibration "
+                         "(default: %(default)s)")
+    rr.add_argument("--arrival", choices=ARRIVAL_PROCESSES,
+                    default="poisson",
+                    help="arrival process (default: %(default)s)")
+    rr.add_argument("--burst-factor", type=float, default=8.0,
+                    help="(--arrival bursty) in-burst rate multiplier")
+    rr.add_argument("--burst-fraction", type=float, default=0.5,
+                    help="(--arrival bursty) fraction of tasks arriving "
+                         "inside bursts")
+    rr.add_argument("--mean-burst", type=float, default=16.0,
+                    help="(--arrival bursty) mean tasks per burst")
+    rr.add_argument("--arrival-trace", metavar="PATH", default=None,
+                    help="(--arrival trace) file of inter-arrival gaps, "
+                         "one per line")
+    rr.add_argument("--chunk-tasks", type=int, default=64,
+                    help="tasks per generated ETC instance; the streamed "
+                         "window holds --stream instances (default: "
+                         "%(default)s)")
+    rr.add_argument("--stream", dest="stream_chunk", type=int, metavar="N",
+                    default=None,
+                    help="instances per streamed window (default: 32); "
+                         "bounds resident task definitions")
+    rr.add_argument("--store", dest="store_dir", metavar="DIR", default=None,
+                    help="publish the task stream once into a memory-mapped "
+                         "ETC store at DIR and serve from it (idempotent "
+                         "per key, so reruns skip generation)")
+    rr.add_argument("--failures", type=float, default=2.0,
+                    help="(--faults) expected failures per machine over "
+                         "the run")
+    rr.add_argument("--slowdowns", type=float, default=0.0,
+                    help="(--faults) expected slowdown episodes per machine "
+                         "over the run")
+    rr.add_argument("--slowdown-factor", type=float, default=2.0,
+                    help="(--faults) execution-time multiplier while slowed")
+    rr.add_argument("--progress", action="store_true",
+                    help="live event-count progress on stderr")
+    rr.add_argument("--trace-out", metavar="PATH", default=None,
+                    help="collect a trace (even without --append-ledger) "
+                         "with rolling.horizon spans and export it as obs "
+                         "JSONL; render with `repro obs timeline PATH`")
+    rr.add_argument("--timeseries", metavar="PATH", default=None,
+                    help="stream repro-timeseries/1 throughput samples "
+                         "(tasks scheduled/s, backlog, RSS) to PATH")
+    rr.add_argument("--sample-interval", type=float, default=0.5,
+                    help="minimum seconds between time-series samples "
+                         "(default: %(default)s)")
+    add_faults(rr)
+    add_common(rr)
+    add_ledger(rr)
+    rr.set_defaults(func=cmd_run_rolling)
 
     t = sub.add_parser("trace", help="replay a run and print its decision trace")
     t.add_argument("--example", choices=TRACE_EXAMPLES,

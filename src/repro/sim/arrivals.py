@@ -1,0 +1,235 @@
+"""Arrival-process generators for dynamic and rolling-horizon serving.
+
+Three processes produce inter-arrival *gaps* (all strictly positive is
+not required — simultaneous arrivals are legal, but gaps must be finite
+and non-negative):
+
+* :class:`PoissonArrivals` — exponential gaps at a fixed ``rate``; the
+  memoryless baseline used by ``poisson_workload`` since PR 4.
+* :class:`BurstyArrivals` — a two-phase Markov-modulated Poisson
+  process: geometric-length bursts at ``rate * burst_factor``
+  interleaved with calm stretches whose rate is derived so the
+  *overall* mean arrival rate stays ``rate``.  Use it to stress
+  horizon batching with clumped load at an unchanged average.
+* :class:`TraceArrivals` — replay recorded gaps (cycling when the
+  workload outlives the trace), for driving the simulator with real
+  arrival logs.
+
+Generators are chunk-oriented: ``gaps(count, gen)`` may be called
+repeatedly and the process carries its phase state across calls, which
+is what lets the rolling simulation schedule arrivals window by window
+without materialising a million-entry timeline up front.  Call
+``reset()`` to restart the process for a fresh run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "ARRIVAL_PROCESSES",
+    "make_arrival_process",
+]
+
+
+class ArrivalProcess:
+    """Produces inter-arrival gaps chunk by chunk."""
+
+    name: str = ""
+
+    def gaps(self, count: int, gen: np.random.Generator) -> np.ndarray:
+        """Next ``count`` inter-arrival gaps as a float64 array."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restart the process (default: stateless, nothing to do)."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival gaps with mean ``1 / rate``."""
+
+    name = "poisson"
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    def gaps(self, count: int, gen: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        return gen.exponential(1.0 / self.rate, size=count)
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-phase bursty arrivals with an unchanged overall mean rate.
+
+    A fraction ``burst_fraction`` of tasks arrive inside bursts drawn
+    at ``rate * burst_factor``; the calm-phase rate solves
+
+        burst_fraction / (rate * burst_factor)
+          + (1 - burst_fraction) / calm_rate  =  1 / rate
+
+    so the long-run mean gap is exactly ``1 / rate`` regardless of how
+    hard the bursts clump.  Phase runs are geometric with mean
+    ``mean_burst`` (burst) and the matching calm length that realises
+    ``burst_fraction``, and the phase survives across ``gaps()`` calls.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        rate: float,
+        burst_factor: float = 8.0,
+        burst_fraction: float = 0.5,
+        mean_burst: float = 16.0,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+        if burst_factor <= 1.0:
+            raise ConfigurationError(
+                f"burst_factor must be > 1, got {burst_factor}"
+            )
+        if not 0.0 < burst_fraction < 1.0:
+            raise ConfigurationError(
+                f"burst_fraction must be in (0, 1), got {burst_fraction}"
+            )
+        if mean_burst < 1.0:
+            raise ConfigurationError(
+                f"mean_burst must be >= 1, got {mean_burst}"
+            )
+        self.rate = float(rate)
+        self.burst_factor = float(burst_factor)
+        self.burst_fraction = float(burst_fraction)
+        self.mean_burst = float(mean_burst)
+        self.burst_rate = self.rate * self.burst_factor
+        calm_share = 1.0 / self.rate - self.burst_fraction / self.burst_rate
+        self.calm_rate = (1.0 - self.burst_fraction) / calm_share
+        # Mean calm-run length that makes the task share of bursts equal
+        # burst_fraction: runs alternate, so lengths are proportional to
+        # the per-phase task shares.
+        self.mean_calm = self.mean_burst * (1.0 - self.burst_fraction) / (
+            self.burst_fraction
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self._in_burst = True
+        self._run_left = 0
+
+    def _draw_run(self, gen: np.random.Generator) -> None:
+        mean = self.mean_burst if self._in_burst else self.mean_calm
+        # Geometric with the requested mean (>= 1 draw per run).
+        p = min(1.0, 1.0 / mean)
+        self._run_left = int(gen.geometric(p))
+
+    def gaps(self, count: int, gen: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        while filled < count:
+            if self._run_left <= 0:
+                self._draw_run(gen)
+            take = min(self._run_left, count - filled)
+            phase_rate = self.burst_rate if self._in_burst else self.calm_rate
+            out[filled : filled + take] = gen.exponential(
+                1.0 / phase_rate, size=take
+            )
+            filled += take
+            self._run_left -= take
+            if self._run_left == 0:
+                self._in_burst = not self._in_burst
+        return out
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays a recorded gap sequence, cycling when it runs out."""
+
+    name = "trace"
+
+    def __init__(self, trace_gaps: Sequence[float]) -> None:
+        arr = np.asarray(list(trace_gaps), dtype=np.float64)
+        if arr.size == 0:
+            raise ConfigurationError("trace must contain at least one gap")
+        if not np.all(np.isfinite(arr)) or np.any(arr < 0):
+            raise ConfigurationError("trace gaps must be finite and non-negative")
+        self.trace_gaps = arr
+        self.reset()
+
+    @classmethod
+    def from_file(cls, path) -> "TraceArrivals":
+        """Load gaps from a text file, one float per line (``#`` starts a
+        comment; blank lines are skipped)."""
+        values: list[float] = []
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                text = line.split("#", 1)[0].strip()
+                if not text:
+                    continue
+                try:
+                    values.append(float(text))
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: not a number: {text!r}"
+                    ) from exc
+        return cls(values)
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def gaps(self, count: int, gen: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        n = self.trace_gaps.size
+        while filled < count:
+            take = min(n - self._pos, count - filled)
+            out[filled : filled + take] = self.trace_gaps[
+                self._pos : self._pos + take
+            ]
+            filled += take
+            self._pos = (self._pos + take) % n
+        return out
+
+
+#: Registered process names for CLI / config plumbing.
+ARRIVAL_PROCESSES = ("poisson", "bursty", "trace")
+
+
+def make_arrival_process(
+    name: str,
+    rate: float = 1.0,
+    *,
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.5,
+    mean_burst: float = 16.0,
+    trace_gaps: Sequence[float] | None = None,
+) -> ArrivalProcess:
+    """Build an arrival process by registered name."""
+    if name == "poisson":
+        return PoissonArrivals(rate)
+    if name == "bursty":
+        return BurstyArrivals(
+            rate,
+            burst_factor=burst_factor,
+            burst_fraction=burst_fraction,
+            mean_burst=mean_burst,
+        )
+    if name == "trace":
+        if trace_gaps is None:
+            raise ConfigurationError("trace arrivals need trace_gaps")
+        return TraceArrivals(trace_gaps)
+    raise ConfigurationError(
+        f"unknown arrival process {name!r}; choose from {ARRIVAL_PROCESSES}"
+    )

@@ -26,6 +26,7 @@ Two operating modes, both built on the generic engine:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from collections.abc import Mapping as MappingABC
 from collections.abc import Sequence
@@ -41,6 +42,7 @@ from repro.heuristics.base import Heuristic
 from repro.heuristics.kpb import kpb_subset_size
 from repro.heuristics.swa import balance_index
 from repro.obs.tracer import get_tracer
+from repro.sim.arrivals import ArrivalProcess, BurstyArrivals, TraceArrivals
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultPlan
 from repro.sim.trace import ExecutionTrace, TaskExecution
@@ -49,6 +51,9 @@ __all__ = [
     "HCSystem",
     "ArrivalWorkload",
     "poisson_workload",
+    "bursty_workload",
+    "trace_replay_workload",
+    "workload_from_process",
     "OnlinePolicy",
     "MCTOnline",
     "METOnline",
@@ -258,6 +263,13 @@ class FaultTolerantHCSystem:
             etc.machines
         )
         mapped_machine = {a.task: a.machine for a in mapping.assignments}
+        #: Sorted recovery times from the plan, so an all-machines-down
+        #: retry can jump straight to the next known recovery instead of
+        #: polling every backoff_base (which exhausts max_events across
+        #: a long outage).
+        recovery_times = sorted(
+            event.time for event in self.plan.events if event.kind == "recover"
+        )
         attempts: dict[str, int] = {}
         last_failure: dict[str, float] = {}
         stats = {
@@ -414,9 +426,21 @@ class FaultTolerantHCSystem:
                 return
             target = remap_target(task)
             if target is None:
-                # Every machine is down: poll again after the base delay
-                # (no budget charge — the task did not fail again).
-                sim.schedule(self.backoff_base, "task-retry", payload=task)
+                # Every machine is down.  Jump straight to the next known
+                # recovery in the plan (no budget charge — the task did
+                # not fail again).  Priority 20 puts the retry *after*
+                # the recover event (priority 10) at that same instant,
+                # so the machine is back up when the retry dispatches.
+                index = bisect_right(recovery_times, sim.now)
+                if index < len(recovery_times):
+                    sim.schedule_at(
+                        recovery_times[index], "task-retry",
+                        payload=task, priority=20,
+                    )
+                else:
+                    # No recovery on the books (degenerate plan): fall
+                    # back to the old base-delay poll.
+                    sim.schedule(self.backoff_base, "task-retry", payload=task)
                 return
             enqueue(task, target)
 
@@ -498,6 +522,48 @@ def poisson_workload(
     return ArrivalWorkload(etc=etc, arrivals=tuple(np.cumsum(gaps).tolist()))
 
 
+def workload_from_process(
+    etc: ETCMatrix,
+    process: ArrivalProcess,
+    rng: np.random.Generator | int | None = None,
+) -> ArrivalWorkload:
+    """Arrivals drawn from any :mod:`repro.sim.arrivals` process."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    process.reset()
+    gaps = process.gaps(etc.num_tasks, gen)
+    return ArrivalWorkload(etc=etc, arrivals=tuple(np.cumsum(gaps).tolist()))
+
+
+def bursty_workload(
+    etc: ETCMatrix,
+    rate: float,
+    rng: np.random.Generator | int | None = None,
+    *,
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.5,
+    mean_burst: float = 16.0,
+) -> ArrivalWorkload:
+    """Bursty arrivals with an unchanged overall mean ``rate``
+    (see :class:`repro.sim.arrivals.BurstyArrivals`)."""
+    process = BurstyArrivals(
+        rate,
+        burst_factor=burst_factor,
+        burst_fraction=burst_fraction,
+        mean_burst=mean_burst,
+    )
+    return workload_from_process(etc, process, rng)
+
+
+def trace_replay_workload(
+    etc: ETCMatrix,
+    trace_gaps: Sequence[float],
+) -> ArrivalWorkload:
+    """Replay recorded inter-arrival gaps (cycling if the workload
+    outlives the trace; see :class:`repro.sim.arrivals.TraceArrivals`)."""
+    process = TraceArrivals(trace_gaps)
+    return workload_from_process(etc, process, rng=0)
+
+
 # ----------------------------------------------------------------------
 # Immediate-mode policies (Maheswaran et al. on-line heuristics)
 # ----------------------------------------------------------------------
@@ -515,6 +581,13 @@ class OnlinePolicy:
 
     def choose(self, etc_row: np.ndarray, expected_free: np.ndarray, now: float) -> int:
         raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear per-run state.  :meth:`DynamicHCSimulation.run` calls
+        this at the start of every run so one policy instance can be
+        reused across runs (paired comparisons) without state leaking
+        from the previous workload.  Stateless policies inherit this
+        no-op."""
 
 
 class MCTOnline(OnlinePolicy):
@@ -586,6 +659,12 @@ class SWAOnline(OnlinePolicy):
         self.high = float(high)
         self._current = "mct"
 
+    def reset(self) -> None:
+        # The MCT/MET toggle is per-run state: without this reset a
+        # reused instance would start run N+1 in whatever mode run N
+        # ended in, breaking paired comparisons.
+        self._current = "mct"
+
     def choose(self, etc_row: np.ndarray, expected_free: np.ndarray, now: float) -> int:
         load = np.maximum(expected_free, now)
         bi = balance_index(load)
@@ -607,10 +686,11 @@ class DynamicHCSimulation:
 
     Exactly one of ``policy`` (immediate mode) or ``batch_heuristic``
     (batch mode) must be given.  In batch mode a *mapping event* fires
-    when a task arrives and at least ``batch_interval`` time units have
-    passed since the previous mapping event (Maheswaran et al.'s
-    interval-based batch mode); any tasks still pending once arrivals
-    stop are mapped in a final flush.
+    at the interval boundary ``last_batch + batch_interval`` once a task
+    is pending — immediately for the first arrival of a cycle past the
+    boundary, on a timer otherwise (Maheswaran et al.'s interval-based
+    batch mode); any tasks still pending once arrivals stop are mapped
+    in a final flush.
     """
 
     def __init__(
@@ -640,6 +720,8 @@ class DynamicHCSimulation:
         """Execute the workload; ``progress`` is forwarded to the engine
         (see :meth:`repro.sim.engine.Simulator.run`)."""
         etc = self.workload.etc
+        if self.policy is not None:
+            self.policy.reset()
         sim = Simulator()
         trace = ExecutionTrace(etc.machines)
         queues: dict[str, deque[str]] = {m: deque() for m in etc.machines}
@@ -679,8 +761,14 @@ class DynamicHCSimulation:
             pending.append(task)
             # Mapping events run at a lower priority than arrivals so a
             # burst of simultaneous arrivals is mapped as one batch.
-            if not batch_scheduled and sim.now - last_batch >= self.batch_interval:
-                sim.schedule(0.0, "batch-event", priority=10)
+            # The event is timer-based: it fires at the interval boundary
+            # ``last_batch + batch_interval`` even if no further arrival
+            # lands by then, so a task arriving just after a mapping
+            # event waits at most one interval, not until the next
+            # arrival (Maheswaran et al.'s interval cadence).
+            if not batch_scheduled:
+                due = max(sim.now, last_batch + self.batch_interval)
+                sim.schedule_at(due, "batch-event", priority=10)
                 batch_scheduled = True
 
         def on_batch_event(event) -> None:

@@ -228,3 +228,33 @@ class TestFaultTolerantHCSystem:
             if mapping.to_dict()[r.task] != r.machine
         ]
         assert moved  # at least one task actually ran elsewhere
+
+
+class TestLongOutage:
+    def test_total_outage_waits_for_recovery_not_polls(self, etc, mapping):
+        """Regression: with every machine down, retries used to repoll
+        every ``backoff_base`` — a long outage burned millions of events
+        and exhausted ``max_events``.  The retry must jump straight to
+        the next known recovery time from the plan."""
+        fail_at = 1.0
+        recover_at = 1.0e6 * mapping.makespan()
+        events = tuple(
+            FaultEvent(time=fail_at, kind="fail", machine=m)
+            for m in etc.machines
+        ) + tuple(
+            FaultEvent(time=recover_at, kind="recover", machine=m)
+            for m in etc.machines
+        )
+        plan = FaultPlan(
+            machines=tuple(etc.machines), horizon=recover_at, events=events
+        )
+        system = FaultTolerantHCSystem(
+            etc, plan, policy="remap", backoff_base=0.5
+        )
+        result = system.execute(mapping)
+        assert not result.dropped
+        assert len(result.trace) == etc.num_tasks
+        assert result.failures == etc.num_machines
+        assert result.recoveries == etc.num_machines
+        # Work genuinely resumed after the outage ended.
+        assert result.trace.makespan() > recover_at

@@ -125,3 +125,50 @@ class TestSimulationDetails:
         assert [(r.task, r.machine) for r in a.records] == [
             (r.task, r.machine) for r in b.records
         ]
+
+
+class TestSWAResetSemantics:
+    """The MCT/MET toggle is per-run state and must not leak across runs."""
+
+    def workload(self):
+        # At t1's arrival (t=4.5) the balance index is 4.5/10 = 0.45 —
+        # inside the (0.40, 0.49) hysteresis band, so the policy keeps
+        # whatever mode it is in: MCT picks m1 (completion 11.5 < 16),
+        # MET picks m0 (etc 6 < 7).  A leaked "met" state from a prior
+        # run is therefore visible in the assignment.
+        etc = ETCMatrix(
+            np.array([[10.0, 100.0], [6.0, 7.0], [5.0, 50.0]]),
+            tasks=["t0", "t1", "t2"],
+        )
+        return ArrivalWorkload(etc=etc, arrivals=(0.0, 4.5, 9.0))
+
+    def test_reset_restores_mct(self):
+        policy = SWAOnline()
+        policy._current = "met"
+        policy.reset()
+        assert policy._current == "mct"
+
+    def test_tampered_state_cannot_change_a_run(self):
+        workload = self.workload()
+        fresh = DynamicHCSimulation(workload, policy=SWAOnline()).run()
+        tampered_policy = SWAOnline()
+        tampered_policy._current = "met"
+        tampered = DynamicHCSimulation(workload, policy=tampered_policy).run()
+        assert tampered.records == fresh.records
+
+    def test_repeated_runs_with_one_policy_instance_identical(self):
+        workload = self.workload()
+        policy = SWAOnline()
+        simulation = DynamicHCSimulation(workload, policy=policy)
+        first = simulation.run()
+        # The first run ends in MET mode (balance index 10/11.5 > 0.49
+        # at t2); without the per-run reset the second run would map t1
+        # differently.
+        second = simulation.run()
+        assert second.records == first.records
+        assert policy._current == "met"
+
+    def test_first_run_trace_shape(self):
+        trace = DynamicHCSimulation(self.workload(), policy=SWAOnline()).run()
+        machines = {t: trace.execution_of(t).machine for t in ("t0", "t1", "t2")}
+        assert machines == {"t0": "m0", "t1": "m1", "t2": "m0"}

@@ -597,3 +597,71 @@ class TestLedgerPathAlias:
         helptext = capsys.readouterr().out
         assert "--ledger-path" in helptext
         assert ".repro/cells" in helptext
+
+
+class TestRunRolling:
+    def _argv(self, extra=()):
+        return ["run-rolling", "--tasks", "200", "--machines", "4",
+                "--chunk-tasks", "32", "--batch-target", "16",
+                "--seed", "5", *extra]
+
+    def test_small_run_accounts_for_every_task(self, capsys):
+        assert main(self._argv()) == 0
+        out = capsys.readouterr().out
+        assert "tasks accounted   : 200/200" in out
+        assert "tasks scheduled/s" in out
+
+    def test_faulty_run_with_ledger_and_timeseries(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+        from repro.obs.timeseries import read_timeseries
+
+        ledger = tmp_path / "ledger.jsonl"
+        series = tmp_path / "rolling.jsonl"
+        assert main(self._argv(
+            ["--faults", "--failures", "3", "--recovery", "remap",
+             "--timeseries", str(series), "--sample-interval", "0",
+             "--append-ledger", "--ledger-path", str(ledger)])) == 0
+        out = capsys.readouterr().out
+        assert "fault plan        :" in out
+        assert "tasks accounted   : 200/200" in out
+
+        record = RunLedger(ledger).read()[-1]
+        assert record["command"] == "run-rolling"
+        metrics = record["metrics"]
+        assert metrics["tasks_scheduled_per_s"] > 0
+        assert (metrics["tasks_completed"] + metrics["tasks_dropped"]) == 200
+        assert record["extra"]["plan_signature"]
+        assert record["extra"]["timeseries"]["tasks_scheduled"] == \
+            metrics["tasks_scheduled"]
+
+        header, samples = read_timeseries(series)
+        assert header["label"] == "run-rolling"
+        assert samples[-1]["metrics"]["tasks_arrived"] == 200
+
+    def test_store_backed_run_reuses_entry(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        argv = self._argv(["--store", str(store)])
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "store: published entry" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "store: reusing entry" in second
+        # Identical seeds and horizon: the served run is identical too.
+        line = next(l for l in first.splitlines() if "makespan" in l)
+        assert line in second
+
+    def test_bursty_arrivals_and_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self._argv(["--arrival", "bursty",
+                                "--trace-out", str(trace)])) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["obs", "timeline", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "rolling.run" in out
+        assert "rolling.horizon" in out
+
+    def test_trace_arrival_requires_file(self, capsys):
+        assert main(self._argv(["--arrival", "trace"])) == 2
+        assert "--arrival-trace" in capsys.readouterr().err
