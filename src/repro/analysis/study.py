@@ -111,6 +111,7 @@ def improvement_study(
     seeded_iterations: bool = False,
     seed: int = 0,
     backend: str = "incremental",
+    generation_method: str = "range",
     heuristic_kwargs=None,
     run_fn=run_experiment,
 ) -> list[ImprovementRow]:
@@ -124,6 +125,8 @@ def improvement_study(
     execution and caching differ.  ``backend`` picks the kernel
     generation (see :mod:`repro.heuristics.backends`); all backends are
     decision-identical, so the rows do not depend on it.
+    ``generation_method`` picks the ETC generator (``"range"`` /
+    ``"cvb"``), matching ``ExperimentConfig.generation_method``.
     """
     rows: list[ImprovementRow] = []
     for policy in tie_policies:
@@ -138,6 +141,7 @@ def improvement_study(
             seeded_iterations=seeded_iterations,
             seed=seed,
             backend=backend,
+            generation_method=generation_method,
             heuristic_kwargs=heuristic_kwargs or {},
         )
         rows.extend(_aggregate(list(run_fn(config))))

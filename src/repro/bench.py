@@ -567,6 +567,128 @@ def _rolling_serving_workload(options: BenchOptions):
     return run, run_reference
 
 
+def _serve_load_workload(options: BenchOptions):
+    """Warm-cache scheduling service vs a no-cache twin, same traffic.
+
+    ``build`` starts two in-process :class:`~repro.serve.service.
+    SchedulingService` instances behind one event loop on a daemon
+    thread: the optimised variant with a pre-warmed content-addressed
+    response cache, the reference with caching disabled.  Both thunks
+    replay identical synthetic traffic (a compute-dominated study-kind
+    payload) through :func:`~repro.serve.load.run_load` over real HTTP,
+    so the ``speedup`` column is the end-to-end value of serving repeat
+    requests from the response cache instead of recomputing — with the
+    request/latency headline recorded in the entry's ``extra`` field.
+    """
+    import asyncio
+    import atexit
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.serve.http import start_server
+    from repro.serve.load import post_json, run_load
+    from repro.serve.service import SchedulingService
+
+    smoke = options.smoke
+    payload = {
+        "kind": "study",
+        "ensemble": {
+            "tasks": 24 if smoke else 48,
+            "machines": 6 if smoke else 8,
+            "instances": 4 if smoke else 10,
+        },
+        "heuristic": "min-min",
+        "seed": _ETC_SEED,
+    }
+    requests = 32 if smoke else 160
+    concurrency = 8
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    atexit.register(shutil.rmtree, cache_dir, ignore_errors=True)
+    cached_service = SchedulingService(cache_dir, max_workers=4)
+    nocache_service = SchedulingService(None, max_workers=4)
+
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=loop.run_forever, name="repro-bench-serve", daemon=True
+    )
+    thread.start()
+
+    def _start(service):
+        return asyncio.run_coroutine_threadsafe(
+            start_server(service), loop
+        ).result(timeout=30)
+
+    cached_server = _start(cached_service)
+    nocache_server = _start(nocache_service)
+
+    def _url(server) -> str:
+        port = server.sockets[0].getsockname()[1]
+        return f"http://127.0.0.1:{port}/v1/schedule"
+
+    cached_url, nocache_url = _url(cached_server), _url(nocache_server)
+
+    def _shutdown():
+        async def _close():
+            for server in (cached_server, nocache_server):
+                server.close()
+                await server.wait_closed()
+            # 3.11's wait_closed() does not wait for in-flight
+            # connection handlers; cancel stragglers so the loop stops
+            # clean instead of warning about destroyed pending tasks.
+            for task in asyncio.all_tasks():
+                if task is not asyncio.current_task():
+                    task.cancel()
+
+        asyncio.run_coroutine_threadsafe(_close(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        cached_service.close()
+        nocache_service.close()
+
+    atexit.register(_shutdown)
+
+    # Warm the cache so the optimised thunk times pure cache serving.
+    status, _body = post_json(cached_url, payload)
+    if status != 200:
+        raise ConfigurationError(
+            f"serve-load warmup request failed with HTTP {status}"
+        )
+
+    last_report: dict = {}
+
+    def _load(url: str) -> dict:
+        report = run_load(
+            url, payload, requests=requests, concurrency=concurrency
+        )
+        if report["errors"]:
+            raise ConfigurationError(
+                f"serve-load saw {report['errors']} failed request(s)"
+            )
+        return report
+
+    def run():
+        report = _load(cached_url)
+        last_report.clear()
+        last_report.update(report)
+        return report
+
+    def run_reference():
+        return _load(nocache_url)
+
+    def bench_extra() -> dict:
+        return {
+            "requests": last_report.get("requests"),
+            "requests_per_s": last_report.get("requests_per_s"),
+            "latency_ms": dict(last_report.get("latency_ms", {})),
+            "cached": last_report.get("cached"),
+        }
+
+    run.bench_extra = bench_extra
+    return run, run_reference
+
+
 def _make_minmin(**kwargs):
     from repro.heuristics.minmin import MinMin
 
@@ -663,6 +785,14 @@ WORKLOADS: tuple[Workload, ...] = (
         "(400x4 in smoke mode), ~64 tasks mapped+refined per horizon, "
         "vs a per-task mapping cadence (the reference variant)",
         _rolling_serving_workload,
+    ),
+    Workload(
+        "serve-load",
+        "Synthetic HTTP traffic against the scheduling service with a "
+        "warm content-addressed response cache (160 study requests at "
+        "concurrency 8; 32 in smoke mode), vs an identical no-cache "
+        "service that recomputes every request (the reference variant)",
+        _serve_load_workload,
     ),
 )
 
@@ -761,6 +891,13 @@ def run_bench(
             entry["speedup"] = reference["best_s"] / entry["best_s"]
         if profile is not None:
             entry["profile"] = _profile_thunk(run, profile)
+        # Workloads may attach a ``bench_extra`` callable to the run
+        # thunk to publish headline figures beyond wall-clock (the
+        # serve-load workload records its requests/s and latency
+        # percentiles this way).
+        extra_fn = getattr(run, "bench_extra", None)
+        if callable(extra_fn):
+            entry["extra"] = extra_fn()
         results[workload.name] = entry
         if progress is not None:
             speedup = entry.get("speedup")
@@ -907,6 +1044,16 @@ def format_report(report: dict) -> str:
                 else f"{'-':>12} {'-':>8}"
             )
         )
+    for name, entry in sorted(report["results"].items()):
+        extra = entry.get("extra") or {}
+        if extra.get("requests_per_s") is not None:
+            latency = extra.get("latency_ms", {})
+            lines.append(
+                f"{name}: {extra['requests_per_s']:.1f} requests/s "
+                f"(p50 {latency.get('p50', 0):.3f} ms, "
+                f"p95 {latency.get('p95', 0):.3f} ms, "
+                f"{extra.get('cached', 0)} cached)"
+            )
     return "\n".join(lines)
 
 

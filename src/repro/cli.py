@@ -12,6 +12,8 @@ Usage (after install)::
     python -m repro study    --faults --heuristics min-min --instances 5
     python -m repro run-grid --heterogeneities hihi,lolo --resume
     python -m repro run-grid --trace-out trace.jsonl --timeseries ts.jsonl
+    python -m repro serve    --port 8351 --append-ledger
+    python -m repro serve-load --url http://127.0.0.1:8351/v1/schedule -n 200
     python -m repro trace    --example min-min
     python -m repro bench    --baseline BENCH_baseline.json --append-ledger
     python -m repro obs      tail --follow
@@ -1048,6 +1050,148 @@ def cmd_run_rolling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_ledger_config(args: argparse.Namespace, port: int) -> dict:
+    return {
+        "host": args.host,
+        "port": port,
+        "workers": args.workers,
+        "max_pending": args.max_pending,
+        "cache_dir": None if args.no_cache else args.cache_dir,
+    }
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scheduling service until SIGINT/SIGTERM (see docs/serving.md)."""
+    import asyncio
+    import signal
+
+    from repro.serve.http import start_server
+    from repro.serve.service import SchedulingService
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    service = SchedulingService(
+        cache_dir, max_workers=args.workers, max_pending=args.max_pending
+    )
+    bound_port = args.port
+
+    def flush_ledger() -> None:
+        record = service.ledger_record(config=_serve_ledger_config(args, bound_port))
+        if record is None:
+            return
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(args.ledger)
+        ledger.append(record)
+        print(f"ledger: appended run {record['run_id']} to {ledger.path}",
+              flush=True)
+
+    async def serve_forever() -> None:
+        nonlocal bound_port
+        server = await start_server(service, args.host, args.port)
+        bound_port = server.sockets[0].getsockname()[1]
+        print(f"serving on http://{args.host}:{bound_port}", flush=True)
+        if service.cache is not None:
+            print(f"response cache: {service.cache.root}", flush=True)
+        else:
+            print("response cache: disabled", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        flusher = None
+        if args.append_ledger and args.ledger_every > 0:
+            async def periodic() -> None:
+                while True:
+                    await asyncio.sleep(args.ledger_every)
+                    flush_ledger()
+
+            flusher = asyncio.create_task(periodic())
+        await stop.wait()
+        print("shutting down", flush=True)
+        if flusher is not None:
+            flusher.cancel()
+        server.close()
+        await server.wait_closed()
+
+    with _maybe_collect(bool(args.trace_out)) as tracer:
+        asyncio.run(serve_forever())
+    service.close()
+    if args.append_ledger:
+        flush_ledger()
+    if args.trace_out and tracer is not None:
+        from repro.obs.export import write_jsonl
+
+        lines = write_jsonl(tracer, args.trace_out)
+        print(f"trace: wrote {lines} JSONL records to {args.trace_out} "
+              "(inspect with `repro obs timeline`)")
+    counts = service.stats()["counts"]
+    print(f"served {counts['requests']} request(s) "
+          f"({counts['cache_hits']} cache hit(s), "
+          f"{counts['computed']} computed)")
+    return 0
+
+
+def cmd_serve_load(args: argparse.Namespace) -> int:
+    """Generate synthetic traffic against a running scheduling service."""
+    import json
+
+    from repro.serve.load import format_load_report, run_load
+
+    started = time.perf_counter()
+    if args.payload:
+        from pathlib import Path
+
+        payload = json.loads(Path(args.payload).read_text(encoding="utf-8"))
+    else:
+        payload = {
+            "kind": "study",
+            "ensemble": {
+                "tasks": args.tasks,
+                "machines": args.machines,
+                "instances": args.instances,
+            },
+            "heuristic": args.heuristic,
+            "seed": args.seed,
+        }
+    report = run_load(
+        args.url,
+        payload,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        timeout=args.timeout,
+    )
+    print(format_load_report(report))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote load report to {args.output}")
+    if args.errors_fatal and report["errors"]:
+        print(f"error: {report['errors']} request(s) failed", file=sys.stderr)
+        return 1
+    if args.append_ledger:
+        _ledger_append(
+            args,
+            "serve-load",
+            started=started,
+            config={
+                "url": args.url,
+                "requests": args.requests,
+                "concurrency": args.concurrency,
+                "rate": args.rate,
+            },
+            metrics={
+                "requests_per_s": report["requests_per_s"],
+                "latency_p50_ms": report["latency_ms"]["p50"],
+                "latency_p95_ms": report["latency_ms"]["p95"],
+                "errors": report["errors"],
+            },
+            extra={"load_report": report},
+        )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Generate the full reproduction report (Markdown)."""
     from repro.analysis.report import build_report
@@ -1710,6 +1854,79 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(rr)
     add_ledger(rr)
     rr.set_defaults(func=cmd_run_rolling)
+
+    from repro.serve.cache import DEFAULT_RESPONSE_CACHE_DIR
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the scheduling-as-a-service HTTP API "
+             "(see docs/serving.md)",
+    )
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: %(default)s)")
+    sv.add_argument("--port", type=int, default=8351,
+                    help="bind port; 0 picks an ephemeral port "
+                         "(default: %(default)s)")
+    sv.add_argument("--workers", type=int, default=4,
+                    help="worker threads computing requests "
+                         "(default: %(default)s)")
+    sv.add_argument("--max-pending", type=int, default=64,
+                    help="in-flight request cap before shedding with 503 "
+                         "(default: %(default)s)")
+    sv.add_argument("--cache-dir", default=DEFAULT_RESPONSE_CACHE_DIR,
+                    help="content-addressed response cache directory "
+                         "(default: %(default)s)")
+    sv.add_argument("--no-cache", action="store_true",
+                    help="disable the response cache (recompute everything)")
+    sv.add_argument("--trace-out", metavar="PATH", default=None,
+                    help="collect serve.request/serve.compute spans and "
+                         "export them as obs JSONL on shutdown (serialises "
+                         "request handling; debugging aid, not for load)")
+    sv.add_argument("--ledger-every", type=float, default=0.0,
+                    help="with --append-ledger, also flush a ledger record "
+                         "every N seconds of traffic (default: only at "
+                         "shutdown)")
+    add_ledger(sv)
+    sv.set_defaults(func=cmd_serve)
+
+    sl = sub.add_parser(
+        "serve-load",
+        help="drive synthetic traffic against a running `repro serve`",
+    )
+    sl.add_argument("--url", default="http://127.0.0.1:8351/v1/schedule",
+                    help="endpoint to POST to (default: %(default)s)")
+    sl.add_argument("-n", "--requests", type=int, default=100,
+                    help="number of requests (default: %(default)s)")
+    sl.add_argument("--concurrency", type=int, default=8,
+                    help="client worker threads (default: %(default)s)")
+    sl.add_argument("--rate", type=float, default=None,
+                    help="open-loop request release rate per second "
+                         "(default: unpaced)")
+    sl.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request timeout in seconds "
+                         "(default: %(default)s)")
+    sl.add_argument("--payload", metavar="FILE", default=None,
+                    help="JSON file with the request payload (default: a "
+                         "small built-in study request)")
+    sl.add_argument("--tasks", type=int, default=24,
+                    help="built-in payload: ensemble tasks "
+                         "(default: %(default)s)")
+    sl.add_argument("--machines", type=int, default=6,
+                    help="built-in payload: ensemble machines "
+                         "(default: %(default)s)")
+    sl.add_argument("--instances", type=int, default=4,
+                    help="built-in payload: instances per request "
+                         "(default: %(default)s)")
+    sl.add_argument("--heuristic", choices=heuristic_names(),
+                    default="min-min",
+                    help="built-in payload heuristic (default: %(default)s)")
+    sl.add_argument("--seed", type=int, default=0,
+                    help="built-in payload seed (default: %(default)s)")
+    sl.add_argument("--errors-fatal", action="store_true",
+                    help="exit 1 when any request fails")
+    sl.add_argument("-o", "--output", help="write the load report JSON here")
+    add_ledger(sl)
+    sl.set_defaults(func=cmd_serve_load)
 
     t = sub.add_parser("trace", help="replay a run and print its decision trace")
     t.add_argument("--example", choices=TRACE_EXAMPLES,

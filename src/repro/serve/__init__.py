@@ -1,0 +1,71 @@
+"""repro.serve — scheduling-as-a-service over the library core.
+
+An async HTTP layer (stdlib :mod:`asyncio` only) that accepts inline
+ETC instances or ensemble-generation specs and returns mappings,
+iterative-technique refinement traces and study summaries, with
+content-addressed response caching keyed by the same SHA-256
+config-hash scheme as the runner's cell cache.  See docs/serving.md
+for the endpoint reference and ``repro serve`` for the CLI entry
+point.
+"""
+
+from repro.serve.cache import (
+    DEFAULT_RESPONSE_CACHE_DIR,
+    RESPONSE_CACHE_SCHEMA,
+    ResponseCache,
+)
+from repro.serve.http import MAX_BODY_BYTES, handle_connection, start_server
+from repro.serve.load import (
+    LOAD_SCHEMA,
+    format_load_report,
+    get_json,
+    post_json,
+    run_load,
+)
+from repro.serve.models import (
+    GENERATION_METHODS,
+    REQUEST_KINDS,
+    REQUEST_SCHEMA,
+    RESPONSE_SCHEMA,
+    OverloadError,
+    RequestValidationError,
+    ScheduleRequest,
+    ServeError,
+    parse_request,
+    request_identity,
+    request_key,
+)
+from repro.serve.service import STATS_SCHEMA, SchedulingService, execute_request
+
+__all__ = [
+    # models
+    "REQUEST_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "REQUEST_KINDS",
+    "GENERATION_METHODS",
+    "ServeError",
+    "RequestValidationError",
+    "OverloadError",
+    "ScheduleRequest",
+    "parse_request",
+    "request_identity",
+    "request_key",
+    # cache
+    "RESPONSE_CACHE_SCHEMA",
+    "DEFAULT_RESPONSE_CACHE_DIR",
+    "ResponseCache",
+    # service
+    "STATS_SCHEMA",
+    "SchedulingService",
+    "execute_request",
+    # http
+    "MAX_BODY_BYTES",
+    "handle_connection",
+    "start_server",
+    # load
+    "LOAD_SCHEMA",
+    "run_load",
+    "post_json",
+    "get_json",
+    "format_load_report",
+]

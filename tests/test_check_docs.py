@@ -93,6 +93,72 @@ class TestIndexReachability:
         ]
 
 
+class TestCliSubcommands:
+    COMMANDS = {
+        "map": frozenset(),
+        "serve": frozenset(),
+        "obs": frozenset({"tail", "timeline"}),
+    }
+
+    def test_unknown_subcommand_reported(self, tmp_path):
+        _write(
+            tmp_path,
+            "docs/index.md",
+            "run `repro nosuch --help` or python -m repro map\n",
+        )
+        problems = check_docs.check_cli_subcommands(
+            tmp_path, check_docs.doc_files(tmp_path), self.COMMANDS
+        )
+        assert problems == [
+            "docs/index.md: unknown CLI subcommand 'repro nosuch'"
+        ]
+
+    def test_nested_subcommand_checked(self, tmp_path):
+        _write(
+            tmp_path,
+            "docs/index.md",
+            "$ repro obs timeline trace.jsonl\n$ repro obs nosub x\n",
+        )
+        problems = check_docs.check_cli_subcommands(
+            tmp_path, check_docs.doc_files(tmp_path), self.COMMANDS
+        )
+        assert problems == [
+            "docs/index.md: unknown CLI subcommand 'repro obs nosub'"
+        ]
+
+    def test_non_command_contexts_ignored(self, tmp_path):
+        _write(
+            tmp_path,
+            "docs/index.md",
+            # Dotted module references, the bare CLI name, option-only
+            # invocations and prose all stay out of scope.
+            "repro.serve.models has the schema; the `repro` CLI; "
+            "python -m repro --help; import repro nosuch\n",
+        )
+        assert check_docs.check_cli_subcommands(
+            tmp_path, check_docs.doc_files(tmp_path), self.COMMANDS
+        ) == []
+
+    def test_fabricated_repo_without_cli_skips(self, tmp_path):
+        _write(tmp_path, "docs/index.md", "python -m repro nosuch\n")
+        assert check_docs.cli_subcommands(tmp_path) is None
+        assert check_docs.check_cli_subcommands(
+            tmp_path, check_docs.doc_files(tmp_path)
+        ) == []
+
+    def test_real_parser_map_includes_serve(self):
+        commands = check_docs.cli_subcommands(REPO_ROOT)
+        assert commands is not None
+        for name in ("map", "iterate", "study", "run-grid", "bench",
+                     "run-rolling", "serve", "serve-load"):
+            assert name in commands, name
+        assert "timeline" in commands["obs"]
+
+    def test_real_repo_cli_mentions_resolve(self):
+        files = check_docs.doc_files(REPO_ROOT)
+        assert check_docs.check_cli_subcommands(REPO_ROOT, files) == []
+
+
 class TestEndToEnd:
     def test_real_repo_is_consistent(self):
         assert check_docs.run_checks(REPO_ROOT) == []

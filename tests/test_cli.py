@@ -665,3 +665,41 @@ class TestRunRolling:
     def test_trace_arrival_requires_file(self, capsys):
         assert main(self._argv(["--arrival", "trace"])) == 2
         assert "--arrival-trace" in capsys.readouterr().err
+
+
+class TestServeParsers:
+    """Parser wiring for serve/serve-load (the end-to-end subprocess
+    sessions live in tools/smoke_serve.py, run by `make smoke-serve`)."""
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8351
+        assert args.workers == 4
+        assert args.max_pending == 64
+        assert args.cache_dir == ".repro/responses"
+        assert args.no_cache is False
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--no-cache", "--workers", "2",
+             "--trace-out", "t.jsonl", "--ledger-every", "5"]
+        )
+        assert args.port == 0
+        assert args.no_cache is True
+        assert args.workers == 2
+        assert args.trace_out == "t.jsonl"
+        assert args.ledger_every == 5.0
+
+    def test_serve_load_defaults(self):
+        args = build_parser().parse_args(["serve-load"])
+        assert args.url == "http://127.0.0.1:8351/v1/schedule"
+        assert args.requests == 100
+        assert args.concurrency == 8
+        assert args.heuristic == "min-min"
+        assert args.func.__name__ == "cmd_serve_load"
+
+    def test_serve_load_rejects_unknown_heuristic(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-load", "--heuristic", "quantum"])

@@ -16,6 +16,11 @@ and CI so the docs cannot silently rot as the code moves:
 3. **Index reachability** — every page under ``docs/`` must be
    reachable from ``docs/index.md`` by following relative links, so
    the index stays the complete map of the documentation.
+4. **Stale CLI subcommands** — every ``repro <subcommand>`` invocation
+   the docs show (``python -m repro X``, `` `repro X`` or ``$ repro X``)
+   must name a real subcommand of the live argument parser (nested
+   groups like ``repro obs <sub>`` included), so a renamed or removed
+   command cannot survive in a quickstart.
 
 Usage::
 
@@ -38,6 +43,18 @@ _LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 #: class references like ``repro.obs.CollectingTracer`` contribute just
 #: their module prefix.
 _MODULE_RE = re.compile(r"\brepro((?:\.[a-z_][a-z0-9_]*)+)")
+
+#: ``repro <subcommand>`` invocation in one of the command contexts the
+#: docs use: ``python -m repro X``, an opening-backtick `` `repro X`` or
+#: a shell-prompt ``$ repro X``.  Dotted ``repro.module`` references do
+#: not match (no whitespace), and option tokens (``--help``) cannot
+#: match the ``[a-z]``-led subcommand group.  The optional second token
+#: covers nested groups (``repro obs timeline``) and is only validated
+#: for commands that actually own a nested parser.
+_CLI_RE = re.compile(
+    r"(?:python -m repro|\$ repro|`repro)\s+"
+    r"([a-z][a-z0-9-]*)(?:\s+([a-z][a-z0-9-]*))?"
+)
 
 #: Files whose links/references are checked.
 _DOC_GLOBS = ("docs/*.md",)
@@ -173,12 +190,80 @@ def check_index_reachability(root: Path) -> list[str]:
     ]
 
 
+def cli_subcommands(root: Path) -> dict[str, frozenset[str]] | None:
+    """Live subcommand map of the ``repro`` CLI, or ``None`` to skip.
+
+    Keys are top-level subcommands; each value is the set of nested
+    subcommands the command owns (empty for flat commands).  Returns
+    ``None`` when the tree under ``root`` has no importable CLI (the
+    fabricated repos of the unit tests), mirroring how the module check
+    degrades when ``src/repro`` is absent.
+    """
+    if not (root / "src" / "repro" / "cli.py").is_file():
+        return None
+    import importlib
+
+    src = str(root / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    try:
+        parser = importlib.import_module("repro.cli").build_parser()
+    except Exception:
+        return None
+
+    def _choices(p):
+        if p._subparsers is None:
+            return {}
+        for action in p._subparsers._group_actions:
+            if getattr(action, "choices", None):
+                return action.choices
+        return {}
+
+    return {
+        name: frozenset(_choices(sub))
+        for name, sub in _choices(parser).items()
+    }
+
+
+def check_cli_subcommands(
+    root: Path,
+    files: list[Path],
+    commands: dict[str, frozenset[str]] | None = None,
+) -> list[str]:
+    """Stale ``repro <subcommand>`` invocation problems.
+
+    ``commands`` defaults to the live parser's map; the unit tests
+    inject a fake map to exercise the matching without importing.
+    """
+    if commands is None:
+        commands = cli_subcommands(root)
+    if commands is None:
+        return []
+    problems = []
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        for match in _CLI_RE.finditer(text):
+            command, nested = match.group(1), match.group(2)
+            if command not in commands:
+                problems.append(
+                    f"{path.relative_to(root)}: unknown CLI subcommand "
+                    f"'repro {command}'"
+                )
+            elif nested and commands[command] and nested not in commands[command]:
+                problems.append(
+                    f"{path.relative_to(root)}: unknown CLI subcommand "
+                    f"'repro {command} {nested}'"
+                )
+    return problems
+
+
 def run_checks(root: Path) -> list[str]:
-    """All problems across the three checks (empty = consistent docs)."""
+    """All problems across the four checks (empty = consistent docs)."""
     files = doc_files(root)
     problems = check_links(root, files)
     problems += check_module_references(root, files)
     problems += check_index_reachability(root)
+    problems += check_cli_subcommands(root, files)
     return problems
 
 

@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the scheduling service (`make smoke-serve`).
+
+Two sessions against real ``repro serve`` subprocesses:
+
+1. **Cache/trace/ledger session** — start a traced service on an
+   ephemeral port, issue one map request and then the *identical*
+   request again, and assert the second is served from the
+   content-addressed response cache: ``cached: true`` in the response,
+   the ``serve.cache_hits`` counter incremented in ``/v1/stats``, and —
+   after a clean SIGTERM shutdown — exactly one ``serve.compute`` span
+   in the exported trace against two ``serve.request`` spans for the
+   schedule posts (no recomputation happened), plus one ``serve``
+   record in the run ledger.  A malformed request must come back as a
+   400 ``validation`` error without disturbing any of that.
+
+2. **Load session** — start a fresh untraced service and drive the
+   ``repro serve-load`` CLI against it, writing the
+   ``repro-serve-load/1`` report (default ``SERVE_load_smoke.json``,
+   published as a CI artifact) and printing the requests/s headline.
+
+Zero dependencies beyond the standard library; exits non-zero on the
+first failed assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LOAD_REPORT = sys.argv[1] if len(sys.argv) > 1 else "SERVE_load_smoke.json"
+
+MAP_PAYLOAD = {
+    "kind": "map",
+    "etc": {"values": [[4, 5, 5], [6, 2, 2], [5, 6, 3], [4, 1, 3]]},
+    "heuristic": "min-min",
+}
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def start_serve(extra_args: list[str]) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("serving on http://"):
+        proc.kill()
+        print(f"FAIL: unexpected serve banner {line!r}", file=sys.stderr)
+        print(proc.stderr.read(), file=sys.stderr)
+        raise SystemExit(1)
+    return proc, int(line.rsplit(":", 1)[1])
+
+
+def post(port: int, path: str, payload: dict) -> tuple[int, dict]:
+    request = Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(port: int, path: str) -> dict:
+    with urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as response:
+        return json.loads(response.read())
+
+
+def stop(proc: subprocess.Popen) -> tuple[str, str]:
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=30)
+    if proc.returncode != 0:
+        print(f"FAIL: serve exited {proc.returncode}\n{err}", file=sys.stderr)
+        raise SystemExit(1)
+    return out, err
+
+
+def session_cache_trace_ledger(tmp: Path) -> None:
+    ledger = tmp / "ledger.jsonl"
+    trace = tmp / "trace.jsonl"
+    proc, port = start_serve(
+        [
+            "--cache-dir", str(tmp / "responses"),
+            "--append-ledger", "--ledger", str(ledger),
+            "--trace-out", str(trace),
+        ]
+    )
+    try:
+        health = get(port, "/healthz")
+        check(health["status"] == "ok", "healthz answers ok")
+
+        status, first = post(port, "/v1/map", MAP_PAYLOAD)
+        check(status == 200 and first["cached"] is False,
+              "first request computed (cached: false)")
+        status, second = post(port, "/v1/map", MAP_PAYLOAD)
+        check(status == 200 and second["cached"] is True,
+              "identical request served from response cache (cached: true)")
+        check(first["key"] == second["key"],
+              "both responses carry the same content-address key")
+        check(first["result"] == second["result"],
+              "cached result is byte-identical to the computed one")
+
+        status, error = post(port, "/v1/schedule", {"kind": "nonsense"})
+        check(
+            status == 400 and error["error"]["type"] == "validation",
+            "malformed request rejected as 400 validation",
+        )
+
+        counts = get(port, "/v1/stats")["counts"]
+        check(counts["cache_hits"] == 1, "serve.cache_hits counter incremented")
+        check(counts["computed"] == 1, "exactly one request computed")
+    finally:
+        out, _err = stop(proc)
+    check("shutting down" in out, "clean SIGTERM shutdown")
+
+    records = [json.loads(l) for l in ledger.read_text().splitlines()]
+    serve_rows = [r for r in records if r["command"] == "serve"]
+    check(len(serve_rows) == 1, "one serve record appended to the run ledger")
+    metrics = serve_rows[0]["metrics"]
+    check(metrics["serve.cache_hits"] == 1, "ledger row records the cache hit")
+
+    spans = [
+        json.loads(l)
+        for l in trace.read_text().splitlines()
+        if '"span"' in l
+    ]
+    compute = [s for s in spans if s.get("kind") == "serve.compute"]
+    requests = [s for s in spans if s.get("kind") == "serve.request"]
+    check(
+        len(compute) == 1,
+        "trace holds one serve.compute span (no recomputation on the hit)",
+    )
+    check(len(requests) == 3, "trace holds one serve.request span per request")
+
+
+def session_load(tmp: Path) -> None:
+    proc, port = start_serve(["--cache-dir", str(tmp / "load-responses")])
+    try:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve-load",
+                "--url", f"http://127.0.0.1:{port}/v1/schedule",
+                "-n", "24", "--concurrency", "4",
+                "--tasks", "16", "--machines", "4", "--instances", "2",
+                "--errors-fatal",
+                "-o", LOAD_REPORT,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+            timeout=120,
+        )
+        if result.returncode != 0:
+            print(f"FAIL: serve-load exited {result.returncode}\n"
+                  f"{result.stdout}\n{result.stderr}", file=sys.stderr)
+            raise SystemExit(1)
+        check("requests/s" in result.stdout, "serve-load prints the "
+              "requests/s headline")
+        print(result.stdout.rstrip())
+        report = json.loads((REPO / LOAD_REPORT).read_text())
+        check(report["schema"] == "repro-serve-load/1",
+              f"load report written to {LOAD_REPORT}")
+        check(report["errors"] == 0 and report["ok"] == 24,
+              "all load requests succeeded")
+        # The first wave of identical requests can race the initial
+        # cache write (at most one miss per client worker); everything
+        # after must be a hit.
+        check(report["cached"] >= 24 - 4,
+              "repeat load traffic served from the response cache")
+    finally:
+        stop(proc)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-serve-") as tmp:
+        session_cache_trace_ledger(Path(tmp))
+        session_load(Path(tmp))
+    print("smoke-serve: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
